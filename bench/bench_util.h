@@ -1,0 +1,33 @@
+// Small shared helpers for the figure-reproduction benches.
+
+#ifndef EASYIO_BENCH_BENCH_UTIL_H_
+#define EASYIO_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace easyio::bench {
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline const char* SizeName(uint64_t io_size) {
+  static char buf[16];
+  if (io_size >= 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%lluM",
+                  static_cast<unsigned long long>(io_size >> 20));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluK",
+                  static_cast<unsigned long long>(io_size >> 10));
+  }
+  return buf;
+}
+
+}  // namespace easyio::bench
+
+#endif  // EASYIO_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,93 @@
+// Figure 9: throughput vs average/P99 latency as worker cores grow, for
+// FxMark DWAL (private-file writes) and DRBL (private-file reads) at 16K and
+// 64K, across the four filesystems — plus the embedded "cores at peak"
+// tables.
+//
+// Paper shapes: EasyIO peaks write throughput with ~6 cores (16K) / ~2 cores
+// (64K) vs NOVA's 16 (63%/88% core savings); EasyIO peak write throughput
+// slightly above NOVA's and stable at high core counts while NOVA and
+// NOVA-DMA collapse; EasyIO read latency is *higher* than NOVA's under load;
+// OdinFS is capped at 12 worker cores.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/units.h"
+#include "src/fxmark/fxmark.h"
+
+namespace easyio {
+namespace {
+
+using fxmark::RunConfig;
+using fxmark::Workload;
+
+const std::vector<int> kCores{1, 2, 4, 6, 8, 12, 16, 20, 24};
+
+void RunPanel(Workload workload, uint64_t io_size) {
+  std::printf("\n-- %s throughput vs latency, %s I/O --\n",
+              fxmark::WorkloadName(workload), bench::SizeName(io_size));
+  std::printf("%-9s %5s %10s %10s %10s %10s\n", "fs", "cores", "Kops/s",
+              "avg_us", "p99_us", "GiB/s");
+
+  struct PeakRow {
+    harness::FsKind fs;
+    int cores_at_peak;
+    double peak_kops;
+  };
+  std::vector<PeakRow> peaks;
+
+  for (harness::FsKind kind :
+       {harness::FsKind::kNova, harness::FsKind::kNovaDma,
+        harness::FsKind::kOdin, harness::FsKind::kEasy}) {
+    RunConfig cfg;
+    cfg.fs = kind;
+    cfg.workload = workload;
+    cfg.io_size = io_size;
+    cfg.uthreads_per_core = 2;  // §6.2: uthreads = 2x cores for EasyIO
+    std::vector<int> cores = kCores;
+    if (kind == harness::FsKind::kOdin) {
+      // 12-per-node reservation leaves at most 12 worker cores (§6.1).
+      std::erase_if(cores, [](int c) { return c > 12; });
+    }
+    auto sweep = fxmark::SweepCores(cfg, cores);
+    for (const auto& point : sweep) {
+      std::printf("%-9s %5d %10.1f %10.2f %10.2f %10.2f\n",
+                  harness::FsKindName(kind), point.cores,
+                  point.result.mops * 1e3, point.result.avg_latency_ns / 1e3,
+                  point.result.p99_ns / 1e3, point.result.gib_per_sec);
+    }
+    double peak = 0;
+    for (const auto& point : sweep) {
+      peak = std::max(peak, point.result.mops * 1e3);
+    }
+    peaks.push_back({kind, fxmark::CoresAtPeak(sweep, 0.95), peak});
+  }
+
+  std::printf("cores-at-peak(95%%):");
+  for (const auto& row : peaks) {
+    std::printf("  %s=%d(%.0fK)", harness::FsKindName(row.fs),
+                row.cores_at_peak, row.peak_kops);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace easyio
+
+int main() {
+  using namespace easyio;
+  bench::PrintHeader(
+      "Figure 9: throughput vs latency, core sweep (FxMark DWAL/DRBL)");
+  RunPanel(fxmark::Workload::kDWAL, 16_KB);
+  RunPanel(fxmark::Workload::kDWAL, 64_KB);
+  RunPanel(fxmark::Workload::kDRBL, 16_KB);
+  RunPanel(fxmark::Workload::kDRBL, 64_KB);
+  std::printf(
+      "\nExpected shape (paper): writes — EasyIO peaks with few cores (6 at\n"
+      "16K, 2 at 64K) vs NOVA's 16; NOVA/NOVA-DMA throughput collapses at\n"
+      "high core counts, EasyIO's only dips slightly. reads — EasyIO reaches\n"
+      "the highest peak but with higher latency; NOVA-DMA peaks early at\n"
+      "less than half of EasyIO's read throughput.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Component microbenchmarks (google-benchmark): host-side costs of the
+// building blocks — context switching, the simulation event loop, SN
+// encoding, checksums, the allocator and page map. These measure the
+// *simulator's* efficiency (real nanoseconds), complementing the virtual-
+// time figure benches.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/common/crc32.h"
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/dma/sn.h"
+#include "src/nova/allocator.h"
+#include "src/nova/layout.h"
+#include "src/nova/page_map.h"
+#include "src/sim/context.h"
+#include "src/sim/simulation.h"
+
+namespace easyio {
+namespace {
+
+sim::Context g_main_ctx;
+sim::Context g_co_ctx;
+
+void PingPongEntry(void*) {
+  while (true) {
+    SwapContext(&g_co_ctx, &g_main_ctx);
+  }
+}
+
+// Raw stackful context-switch cost (one iteration = switch in + switch out).
+void BM_ContextSwitch(benchmark::State& state) {
+  std::vector<std::byte> stack(64 * 1024);
+  MakeContext(&g_co_ctx, stack.data(), stack.size(), &PingPongEntry, nullptr);
+  for (auto _ : state) {
+    SwapContext(&g_main_ctx, &g_co_ctx);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_ContextSwitch);
+
+void BM_EventScheduleFire(benchmark::State& state) {
+  sim::Simulation sim({.num_cores = 1});
+  uint64_t fired = 0;
+  for (auto _ : state) {
+    sim.ScheduleAfter(1, [&fired] { fired++; });
+    sim.RunFor(2);
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EventScheduleFire);
+
+void BM_SnPackUnpack(benchmark::State& state) {
+  uint64_t acc = 0;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const dma::Sn sn = dma::Sn::Make(static_cast<uint8_t>(i & 0xf), i, i % 64);
+    acc += dma::Sn::Unpack(sn.Pack()).seq;
+    i++;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_SnPackUnpack);
+
+void BM_Crc32c(benchmark::State& state) {
+  std::vector<uint8_t> buf(static_cast<size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(buf.data(), buf.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(4096);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram h;
+  Rng rng(1);
+  for (auto _ : state) {
+    h.Record(rng.Below(1000000));
+  }
+  benchmark::DoNotOptimize(h.P99());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_AllocatorAllocFree(benchmark::State& state) {
+  nova::BlockAllocator alloc(1_MB, 1 << 18, 16);
+  for (auto _ : state) {
+    auto e = alloc.Alloc(16, 3);
+    alloc.Free(*e);
+  }
+}
+BENCHMARK(BM_AllocatorAllocFree);
+
+void BM_PageMapInsertLookup(benchmark::State& state) {
+  nova::PageMap map;
+  Rng rng(2);
+  uint64_t pg = 0;
+  for (auto _ : state) {
+    map.Insert(pg % 4096, 16, 1_MB + pg * nova::kBlockSize, 0);
+    benchmark::DoNotOptimize(map.Lookup(pg % 4096, 16));
+    pg += 16;
+  }
+}
+BENCHMARK(BM_PageMapInsertLookup);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(3);
+  uint64_t acc = 0;
+  for (auto _ : state) {
+    acc += rng.Next();
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngNext);
+
+}  // namespace
+}  // namespace easyio
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// A small append-only key-value store built on EasyIO's public API,
+// showing how an application's own pipeline (hashing + serialization)
+// interleaves with asynchronous log appends: while a uthread's append is in
+// flight on the DMA engine, the other uthreads keep serializing and
+// hashing — the CPU the paper's synchronous filesystems would have burned on
+// memcpy.
+//
+// Run: ./build/examples/log_structured_kv
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/crc32.h"
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/harness/testbed.h"
+
+using namespace easyio;
+
+namespace {
+
+// On-log record: u32 crc | u32 klen | u32 vlen | key | value.
+std::vector<std::byte> Serialize(const std::string& key,
+                                 const std::string& value) {
+  std::vector<std::byte> rec(12 + key.size() + value.size());
+  const uint32_t klen = static_cast<uint32_t>(key.size());
+  const uint32_t vlen = static_cast<uint32_t>(value.size());
+  std::memcpy(rec.data() + 4, &klen, 4);
+  std::memcpy(rec.data() + 8, &vlen, 4);
+  std::memcpy(rec.data() + 12, key.data(), key.size());
+  std::memcpy(rec.data() + 12 + key.size(), value.data(), value.size());
+  const uint32_t crc = Crc32c(rec.data() + 4, rec.size() - 4);
+  std::memcpy(rec.data(), &crc, 4);
+  return rec;
+}
+
+class KvStore {
+ public:
+  explicit KvStore(harness::Testbed* tb)
+      : tb_(tb), mu_(&tb->sim()) {
+    fd_ = *tb_->fs().Create("/kv_log");
+  }
+
+  void Put(const std::string& key, const std::string& value) {
+    const auto rec = Serialize(key, value);
+    // Reserve the log offset and append under the store mutex so concurrent
+    // producers index the right record. The append itself is asynchronous
+    // under the hood: metadata commits in parallel with the DMA and this
+    // uthread parks until the record is durable — other producers keep
+    // serializing meanwhile.
+    uthread::MutexLock lock(&mu_);
+    const auto off = tb_->fs().StatFd(fd_)->size;
+    EASYIO_CHECK_OK(tb_->fs().Append(fd_, rec).status());
+    index_[key] = {off, rec.size()};
+  }
+
+  StatusOr<std::string> Get(const std::string& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      return NotFound(key);
+    }
+    std::vector<std::byte> rec(it->second.second);
+    EASYIO_CHECK_OK(tb_->fs().Read(fd_, it->second.first, rec).status());
+    uint32_t crc;
+    uint32_t klen;
+    uint32_t vlen;
+    std::memcpy(&crc, rec.data(), 4);
+    std::memcpy(&klen, rec.data() + 4, 4);
+    std::memcpy(&vlen, rec.data() + 8, 4);
+    if (crc != Crc32c(rec.data() + 4, rec.size() - 4)) {
+      return IoError("record checksum mismatch");
+    }
+    return std::string(reinterpret_cast<const char*>(rec.data()) + 12 + klen,
+                       vlen);
+  }
+
+ private:
+  harness::Testbed* tb_;
+  uthread::Mutex mu_;
+  int fd_;
+  std::map<std::string, std::pair<uint64_t, size_t>> index_;
+};
+
+}  // namespace
+
+int main() {
+  harness::TestbedConfig config;
+  config.fs = harness::FsKind::kEasy;
+  harness::Testbed tb(config);
+  auto* sched = tb.MakeScheduler(2);
+
+  tb.sim().Spawn(0, [&] {
+    KvStore kv(&tb);
+    Rng rng(99);
+    const int kEntries = 200;
+    const sim::SimTime t0 = tb.sim().now();
+
+    // 4 producer uthreads share the store (appends serialize on the file
+    // lock; the two-level lock releases it at metadata commit).
+    sched->RunWorkers(4, [&](int id) {
+      for (int i = id; i < kEntries; i += 4) {
+        std::string value(8000 + (i % 7) * 4096, 'a' + (i % 26));
+        kv.Put("key" + std::to_string(i), value);
+      }
+    });
+    const double put_us =
+        static_cast<double>(tb.sim().now() - t0) / kEntries / 1e3;
+
+    // Verify a sample.
+    int verified = 0;
+    for (int i = 0; i < kEntries; i += 17) {
+      auto v = kv.Get("key" + std::to_string(i));
+      EASYIO_CHECK_OK(v.status());
+      if ((*v)[0] == static_cast<char>('a' + (i % 26))) {
+        verified++;
+      }
+    }
+    std::printf("stored %d records (avg %.1fus per durable PUT), verified "
+                "%d reads, log size %llu bytes\n",
+                kEntries, put_us, verified,
+                static_cast<unsigned long long>(
+                    tb.fs().StatPath("/kv_log")->size));
+  });
+  tb.sim().Run();
+  return 0;
+}

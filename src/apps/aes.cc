@@ -1,0 +1,142 @@
+#include "src/apps/aes.h"
+
+#include <cstring>
+
+namespace easyio::apps {
+
+namespace {
+
+// S-box generated at startup from the field inverse + affine transform.
+struct SBox {
+  uint8_t fwd[256];
+
+  static uint8_t GfMul(uint8_t a, uint8_t b) {
+    uint8_t p = 0;
+    while (b) {
+      if (b & 1) {
+        p ^= a;
+      }
+      const bool hi = a & 0x80;
+      a <<= 1;
+      if (hi) {
+        a ^= 0x1b;
+      }
+      b >>= 1;
+    }
+    return p;
+  }
+
+  SBox() {
+    // Inverse via exponentiation (a^254 in GF(2^8)).
+    auto inv = [](uint8_t a) -> uint8_t {
+      if (a == 0) {
+        return 0;
+      }
+      uint8_t r = 1;
+      for (int i = 0; i < 254; ++i) {
+        r = GfMul(r, a);
+      }
+      return r;
+    };
+    for (int i = 0; i < 256; ++i) {
+      const uint8_t x = inv(static_cast<uint8_t>(i));
+      uint8_t y = x;
+      uint8_t out = x;
+      for (int k = 0; k < 4; ++k) {
+        y = static_cast<uint8_t>((y << 1) | (y >> 7));
+        out ^= y;
+      }
+      fwd[i] = out ^ 0x63;
+    }
+  }
+};
+
+const SBox& Box() {
+  static const SBox box;
+  return box;
+}
+
+uint8_t Xtime(uint8_t a) {
+  return static_cast<uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1b : 0x00));
+}
+
+}  // namespace
+
+Aes128::Aes128(const uint8_t key[16]) {
+  const auto& box = Box();
+  std::memcpy(round_keys_[0].data(), key, 16);
+  uint8_t rcon = 1;
+  for (int r = 1; r <= 10; ++r) {
+    const auto& prev = round_keys_[r - 1];
+    auto& rk = round_keys_[r];
+    // Rotate + SubBytes + Rcon on the last word.
+    uint8_t t[4] = {box.fwd[prev[13]], box.fwd[prev[14]], box.fwd[prev[15]],
+                    box.fwd[prev[12]]};
+    t[0] ^= rcon;
+    rcon = Xtime(rcon);
+    for (int i = 0; i < 4; ++i) {
+      rk[i] = prev[i] ^ t[i];
+    }
+    for (int i = 4; i < 16; ++i) {
+      rk[i] = prev[i] ^ rk[i - 4];
+    }
+  }
+}
+
+void Aes128::EncryptBlock(const uint8_t in[16], uint8_t out[16]) const {
+  const auto& box = Box();
+  uint8_t s[16];
+  for (int i = 0; i < 16; ++i) {
+    s[i] = in[i] ^ round_keys_[0][i];
+  }
+  for (int round = 1; round <= 10; ++round) {
+    // SubBytes.
+    for (auto& b : s) {
+      b = box.fwd[b];
+    }
+    // ShiftRows (column-major state layout: s[c*4+r]).
+    uint8_t t[16];
+    for (int c = 0; c < 4; ++c) {
+      for (int r = 0; r < 4; ++r) {
+        t[c * 4 + r] = s[((c + r) % 4) * 4 + r];
+      }
+    }
+    std::memcpy(s, t, 16);
+    // MixColumns (skipped in the final round).
+    if (round < 10) {
+      for (int c = 0; c < 4; ++c) {
+        uint8_t* col = s + c * 4;
+        const uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+        const uint8_t x = a0 ^ a1 ^ a2 ^ a3;
+        col[0] ^= x ^ Xtime(a0 ^ a1);
+        col[1] ^= x ^ Xtime(a1 ^ a2);
+        col[2] ^= x ^ Xtime(a2 ^ a3);
+        col[3] ^= x ^ Xtime(a3 ^ a0);
+      }
+    }
+    // AddRoundKey.
+    for (int i = 0; i < 16; ++i) {
+      s[i] ^= round_keys_[static_cast<size_t>(round)][i];
+    }
+  }
+  std::memcpy(out, s, 16);
+}
+
+void Aes128::CtrCrypt(const uint8_t* in, uint8_t* out, size_t n,
+                      uint64_t nonce) const {
+  uint8_t counter[16] = {0};
+  uint8_t stream[16];
+  std::memcpy(counter, &nonce, sizeof(nonce));
+  uint64_t block = 0;
+  for (size_t off = 0; off < n; off += 16) {
+    std::memcpy(counter + 8, &block, sizeof(block));
+    block++;
+    EncryptBlock(counter, stream);
+    const size_t chunk = n - off < 16 ? n - off : 16;
+    for (size_t i = 0; i < chunk; ++i) {
+      out[off + i] = in[off + i] ^ stream[i];
+    }
+  }
+}
+
+}  // namespace easyio::apps

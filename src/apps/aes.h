@@ -1,0 +1,33 @@
+// Software AES-128 (ECB block primitive + CTR-mode buffer encryption) for
+// the paper's AES workload [5]: workers encrypt file contents and write the
+// ciphertext to new files. Table-free SubBytes/MixColumns implementation —
+// deliberately the plain portable cipher, since the workload's point is to
+// be compute-dominated.
+
+#ifndef EASYIO_APPS_AES_H_
+#define EASYIO_APPS_AES_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace easyio::apps {
+
+class Aes128 {
+ public:
+  explicit Aes128(const uint8_t key[16]);
+
+  // Encrypts one 16-byte block (ECB).
+  void EncryptBlock(const uint8_t in[16], uint8_t out[16]) const;
+
+  // CTR mode over an arbitrary buffer (also decrypts: CTR is symmetric).
+  void CtrCrypt(const uint8_t* in, uint8_t* out, size_t n,
+                uint64_t nonce) const;
+
+ private:
+  std::array<std::array<uint8_t, 16>, 11> round_keys_;
+};
+
+}  // namespace easyio::apps
+
+#endif  // EASYIO_APPS_AES_H_

@@ -1,0 +1,119 @@
+#include "src/apps/graph.h"
+
+#include <cstring>
+#include <deque>
+
+namespace easyio::apps {
+
+std::vector<uint8_t> SerializeEdges(
+    uint32_t num_vertices,
+    const std::vector<std::pair<uint32_t, uint32_t>>& edges) {
+  std::vector<uint8_t> out(8 + edges.size() * 8);
+  const uint32_t num_edges = static_cast<uint32_t>(edges.size());
+  std::memcpy(out.data(), &num_vertices, 4);
+  std::memcpy(out.data() + 4, &num_edges, 4);
+  size_t off = 8;
+  for (const auto& [src, dst] : edges) {
+    std::memcpy(out.data() + off, &src, 4);
+    std::memcpy(out.data() + off + 4, &dst, 4);
+    off += 8;
+  }
+  return out;
+}
+
+bool DeserializeToCsr(const uint8_t* data, size_t n, CsrGraph* graph) {
+  if (n < 8) {
+    return false;
+  }
+  uint32_t num_vertices;
+  uint32_t num_edges;
+  std::memcpy(&num_vertices, data, 4);
+  std::memcpy(&num_edges, data + 4, 4);
+  if (n < 8 + static_cast<size_t>(num_edges) * 8) {
+    return false;
+  }
+  graph->num_vertices = num_vertices;
+  graph->row_offsets.assign(num_vertices + 1, 0);
+  graph->neighbors.resize(num_edges);
+
+  // Counting pass.
+  size_t off = 8;
+  for (uint32_t e = 0; e < num_edges; ++e) {
+    uint32_t src;
+    std::memcpy(&src, data + off, 4);
+    off += 8;
+    if (src >= num_vertices) {
+      return false;
+    }
+    graph->row_offsets[src + 1]++;
+  }
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    graph->row_offsets[v + 1] += graph->row_offsets[v];
+  }
+  // Fill pass.
+  std::vector<uint32_t> cursor(graph->row_offsets.begin(),
+                               graph->row_offsets.end() - 1);
+  off = 8;
+  for (uint32_t e = 0; e < num_edges; ++e) {
+    uint32_t src;
+    uint32_t dst;
+    std::memcpy(&src, data + off, 4);
+    std::memcpy(&dst, data + off + 4, 4);
+    off += 8;
+    if (dst >= num_vertices) {
+      return false;
+    }
+    graph->neighbors[cursor[src]++] = dst;
+  }
+  return true;
+}
+
+size_t Bfs(const CsrGraph& graph, uint32_t source,
+           std::vector<int32_t>* dist) {
+  dist->assign(graph.num_vertices, -1);
+  if (source >= graph.num_vertices) {
+    return 0;
+  }
+  std::deque<uint32_t> queue;
+  (*dist)[source] = 0;
+  queue.push_back(source);
+  size_t reached = 1;
+  while (!queue.empty()) {
+    const uint32_t v = queue.front();
+    queue.pop_front();
+    for (uint32_t i = graph.row_offsets[v]; i < graph.row_offsets[v + 1];
+         ++i) {
+      const uint32_t w = graph.neighbors[i];
+      if ((*dist)[w] < 0) {
+        (*dist)[w] = (*dist)[v] + 1;
+        reached++;
+        queue.push_back(w);
+      }
+    }
+  }
+  return reached;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> RandomEdges(uint32_t num_vertices,
+                                                       uint32_t num_edges,
+                                                       uint64_t seed) {
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  edges.reserve(num_edges);
+  auto next = [&seed] {
+    seed ^= seed << 13;
+    seed ^= seed >> 7;
+    seed ^= seed << 17;
+    return seed;
+  };
+  // A ring (keeps the graph connected) plus random chords.
+  for (uint32_t v = 0; v < num_vertices && edges.size() < num_edges; ++v) {
+    edges.emplace_back(v, (v + 1) % num_vertices);
+  }
+  while (edges.size() < num_edges) {
+    edges.emplace_back(static_cast<uint32_t>(next() % num_vertices),
+                       static_cast<uint32_t>(next() % num_vertices));
+  }
+  return edges;
+}
+
+}  // namespace easyio::apps

@@ -1,0 +1,43 @@
+// Graph utilities for the paper's BFS workload [1]: workers read serialized
+// edge lists from files, build the adjacency structure in memory, and run a
+// breadth-first search from a given vertex.
+
+#ifndef EASYIO_APPS_GRAPH_H_
+#define EASYIO_APPS_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace easyio::apps {
+
+// Serialized form: u32 num_vertices, u32 num_edges, then num_edges x
+// {u32 src, u32 dst}.
+std::vector<uint8_t> SerializeEdges(uint32_t num_vertices,
+                                    const std::vector<std::pair<uint32_t,
+                                                                uint32_t>>&
+                                        edges);
+
+// CSR adjacency built from a serialized edge list.
+struct CsrGraph {
+  uint32_t num_vertices = 0;
+  std::vector<uint32_t> row_offsets;  // size num_vertices + 1
+  std::vector<uint32_t> neighbors;
+};
+
+// Returns false on malformed input.
+bool DeserializeToCsr(const uint8_t* data, size_t n, CsrGraph* graph);
+
+// BFS distances from `source` (-1 for unreachable). Returns the number of
+// reached vertices.
+size_t Bfs(const CsrGraph& graph, uint32_t source,
+           std::vector<int32_t>* dist);
+
+// Deterministic random graph (for input generation).
+std::vector<std::pair<uint32_t, uint32_t>> RandomEdges(uint32_t num_vertices,
+                                                       uint32_t num_edges,
+                                                       uint64_t seed);
+
+}  // namespace easyio::apps
+
+#endif  // EASYIO_APPS_GRAPH_H_

@@ -1,0 +1,109 @@
+#include "src/apps/grep.h"
+
+#include <cstring>
+#include <vector>
+
+namespace easyio::apps {
+
+namespace {
+
+// memchr-accelerated substring search (glibc-grep style): vector-scan for
+// the needle's first byte, then verify the remainder.
+const char* Find(const char* hay, size_t hay_len, std::string_view needle) {
+  const size_t m = needle.size();
+  if (m == 0 || hay_len < m) {
+    return nullptr;
+  }
+  const char first = needle[0];
+  const char* p = hay;
+  const char* end = hay + hay_len - m + 1;
+  while (p < end) {
+    p = static_cast<const char*>(
+        std::memchr(p, first, static_cast<size_t>(end - p)));
+    if (p == nullptr) {
+      return nullptr;
+    }
+    if (std::memcmp(p + 1, needle.data() + 1, m - 1) == 0) {
+      return p;
+    }
+    ++p;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+size_t CountMatchingLines(std::string_view text, std::string_view pattern) {
+  // GNU-grep style: one Boyer-Moore pass over the whole buffer; on a hit,
+  // count the line and resume after its newline. This skips most bytes
+  // instead of re-priming the matcher per line.
+  size_t matches = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const char* hit =
+        Find(text.data() + pos, text.size() - pos, pattern);
+    if (hit == nullptr) {
+      break;
+    }
+    matches++;
+    const size_t hit_off = static_cast<size_t>(hit - text.data());
+    const size_t nl = text.find('\n', hit_off);
+    if (nl == std::string_view::npos) {
+      break;
+    }
+    pos = nl + 1;
+  }
+  return matches;
+}
+
+size_t CountMatchingLinesNoCase(std::string_view text,
+                                std::string_view pattern) {
+  // Fold the haystack (grep -i); the per-byte pass is the compute-heavy part
+  // of case-insensitive matching. A reused scratch buffer keeps the cost at
+  // the fold itself rather than allocator page faults.
+  static thread_local std::vector<char> folded;
+  folded.resize(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    folded[i] = (c >= 'A' && c <= 'Z') ? static_cast<char>(c + 32) : c;
+  }
+  return CountMatchingLines(std::string_view(folded.data(), folded.size()),
+                            pattern);
+}
+
+std::vector<uint8_t> SyntheticText(size_t bytes, std::string_view needle,
+                                   double needle_frequency, uint64_t seed) {
+  static constexpr std::string_view kWords[] = {
+      "storage", "memory",  "asynchronous", "channel", "buffer",
+      "kernel",  "latency", "bandwidth",    "uthread", "commit"};
+  std::vector<uint8_t> out;
+  out.reserve(bytes + 128);
+  auto next = [&seed] {
+    seed ^= seed << 13;
+    seed ^= seed >> 7;
+    seed ^= seed << 17;
+    return seed;
+  };
+  while (out.size() < bytes) {
+    const bool with_needle =
+        (next() % 1000) < static_cast<uint64_t>(needle_frequency * 1000);
+    size_t line_len = 0;
+    while (line_len < 72) {
+      const std::string_view w = kWords[next() % 10];
+      out.insert(out.end(), w.begin(), w.end());
+      out.push_back(' ');
+      line_len += w.size() + 1;
+    }
+    if (with_needle) {
+      out.insert(out.end(), needle.begin(), needle.end());
+    }
+    out.push_back('\n');
+  }
+  out.resize(bytes);
+  if (!out.empty()) {
+    out.back() = '\n';
+  }
+  return out;
+}
+
+}  // namespace easyio::apps

@@ -1,0 +1,29 @@
+// Line matcher for the paper's Grep workload [10]: each worker reads a chunk
+// of text into a buffer and string-matches every line against a pattern.
+
+#ifndef EASYIO_APPS_GREP_H_
+#define EASYIO_APPS_GREP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace easyio::apps {
+
+// Number of lines in `text` containing `pattern` (memchr-accelerated
+// search, like GNU grep's fast path).
+size_t CountMatchingLines(std::string_view text, std::string_view pattern);
+
+// Case-insensitive variant (grep -i): case-folds the text, then searches.
+// `pattern` must already be lowercase.
+size_t CountMatchingLinesNoCase(std::string_view text,
+                                std::string_view pattern);
+
+// Deterministic synthetic text (~80-char lines, some containing `needle`).
+std::vector<uint8_t> SyntheticText(size_t bytes, std::string_view needle,
+                                   double needle_frequency, uint64_t seed);
+
+}  // namespace easyio::apps
+
+#endif  // EASYIO_APPS_GREP_H_

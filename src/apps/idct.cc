@@ -1,0 +1,118 @@
+#include "src/apps/idct.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace easyio::apps {
+
+namespace {
+
+struct CosTable {
+  float c[8][8];  // c[x][u] = cos((2x+1) u pi / 16) * scale(u)
+  CosTable() {
+    for (int x = 0; x < 8; ++x) {
+      for (int u = 0; u < 8; ++u) {
+        const double scale = u == 0 ? std::sqrt(0.125) : 0.5;
+        c[x][u] = static_cast<float>(
+            scale * std::cos((2 * x + 1) * u * M_PI / 16.0));
+      }
+    }
+  }
+};
+
+const CosTable& Cos() {
+  static const CosTable table;
+  return table;
+}
+
+// Zigzag scan order of an 8x8 block.
+constexpr uint8_t kZigzag[64] = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+}  // namespace
+
+void Idct8x8(const float in[64], float out[64]) {
+  const auto& t = Cos();
+  // Rows, then columns (separable 2-D IDCT).
+  float tmp[64];
+  for (int r = 0; r < 8; ++r) {
+    for (int x = 0; x < 8; ++x) {
+      float acc = 0;
+      for (int u = 0; u < 8; ++u) {
+        acc += t.c[x][u] * in[r * 8 + u];
+      }
+      tmp[r * 8 + x] = acc;
+    }
+  }
+  for (int col = 0; col < 8; ++col) {
+    for (int y = 0; y < 8; ++y) {
+      float acc = 0;
+      for (int v = 0; v < 8; ++v) {
+        acc += t.c[y][v] * tmp[v * 8 + col];
+      }
+      out[y * 8 + col] = acc;
+    }
+  }
+}
+
+bool DecodeBlock(const uint8_t* stream, size_t n, size_t* offset,
+                 std::vector<uint8_t>* out) {
+  size_t i = *offset;
+  if (i >= n) {
+    return false;
+  }
+  const int count = stream[i++];
+  if (count > kMaxCoeffsPerBlock || i + static_cast<size_t>(count) * 3 > n) {
+    return false;
+  }
+  float coeffs[64] = {0};
+  for (int k = 0; k < count; ++k) {
+    const uint8_t pos = stream[i];
+    int16_t value;
+    std::memcpy(&value, stream + i + 1, 2);
+    i += 3;
+    if (pos >= 64) {
+      return false;
+    }
+    coeffs[kZigzag[pos]] = static_cast<float>(value);
+  }
+  float pixels[64];
+  Idct8x8(coeffs, pixels);
+  for (int p = 0; p < 64; ++p) {
+    const int luma =
+        std::clamp(static_cast<int>(pixels[p] + 128.0f), 0, 255);
+    // Grey-scale JPEG: replicate luma into RGB888.
+    out->push_back(static_cast<uint8_t>(luma));
+    out->push_back(static_cast<uint8_t>(luma));
+    out->push_back(static_cast<uint8_t>(luma));
+  }
+  *offset = i;
+  return true;
+}
+
+std::vector<uint8_t> EncodeSyntheticBlock(uint64_t seed) {
+  std::vector<uint8_t> out;
+  // Deterministic xorshift for reproducible inputs.
+  auto next = [&seed] {
+    seed ^= seed << 13;
+    seed ^= seed >> 7;
+    seed ^= seed << 17;
+    return seed;
+  };
+  const int count = 3 + static_cast<int>(next() % 5);  // 3..7 coefficients
+  out.push_back(static_cast<uint8_t>(count));
+  for (int k = 0; k < count; ++k) {
+    out.push_back(static_cast<uint8_t>(next() % 20));  // low frequencies
+    const int16_t value = static_cast<int16_t>(
+        static_cast<int>(next() % 400) - 200);
+    out.push_back(static_cast<uint8_t>(value & 0xff));
+    out.push_back(static_cast<uint8_t>((value >> 8) & 0xff));
+  }
+  return out;
+}
+
+}  // namespace easyio::apps

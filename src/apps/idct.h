@@ -1,0 +1,36 @@
+// Block decoder for the paper's JPGDecoder workload [14]: the input stream
+// carries sparse quantized DCT coefficients per 8x8 block; decoding runs a
+// real 2-D inverse DCT and expands the luma block to RGB888 (the
+// compute-heavy half of a baseline JPEG decoder, without the entropy-coding
+// bookkeeping).
+//
+// Stream format per block: u8 count, then `count` x { u8 zigzag_pos,
+// s16 value }. Output: 192 bytes (64 pixels x RGB).
+
+#ifndef EASYIO_APPS_IDCT_H_
+#define EASYIO_APPS_IDCT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace easyio::apps {
+
+inline constexpr size_t kBlockOutBytes = 64 * 3;  // 8x8 RGB888
+inline constexpr int kMaxCoeffsPerBlock = 10;
+
+// 2-D inverse DCT of an 8x8 coefficient block into pixel values.
+void Idct8x8(const float in[64], float out[64]);
+
+// Decodes one block from `stream`; advances *offset. Returns false on
+// malformed input. Appends kBlockOutBytes to `out`.
+bool DecodeBlock(const uint8_t* stream, size_t n, size_t* offset,
+                 std::vector<uint8_t>* out);
+
+// Encodes a synthetic block (deterministic from `seed`) for input
+// generation; returns the encoded bytes.
+std::vector<uint8_t> EncodeSyntheticBlock(uint64_t seed);
+
+}  // namespace easyio::apps
+
+#endif  // EASYIO_APPS_IDCT_H_

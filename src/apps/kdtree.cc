@@ -1,0 +1,87 @@
+#include "src/apps/kdtree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace easyio::apps {
+
+float Dist2(const KdPoint& a, const KdPoint& b) {
+  float acc = 0;
+  for (int d = 0; d < kKdDims; ++d) {
+    const float diff = a[d] - b[d];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+KdTree::KdTree(std::vector<KdPoint> points) {
+  nodes_.reserve(points.size());
+  if (!points.empty()) {
+    root_ = Build(points, 0, static_cast<int>(points.size()), 0);
+  }
+}
+
+int KdTree::Build(std::vector<KdPoint>& pts, int lo, int hi, int depth) {
+  if (lo >= hi) {
+    return -1;
+  }
+  const int axis = depth % kKdDims;
+  const int mid = lo + (hi - lo) / 2;
+  std::nth_element(pts.begin() + lo, pts.begin() + mid, pts.begin() + hi,
+                   [axis](const KdPoint& a, const KdPoint& b) {
+                     return a[axis] < b[axis];
+                   });
+  const int idx = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{pts[static_cast<size_t>(mid)], axis, -1, -1});
+  const int left = Build(pts, lo, mid, depth + 1);
+  const int right = Build(pts, mid + 1, hi, depth + 1);
+  nodes_[static_cast<size_t>(idx)].left = left;
+  nodes_[static_cast<size_t>(idx)].right = right;
+  return idx;
+}
+
+void KdTree::Search(int node, const KdPoint& query, int k,
+                    std::vector<Result>* best) const {
+  if (node < 0) {
+    return;
+  }
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  const float d2 = Dist2(n.point, query);
+  if (best->size() < static_cast<size_t>(k) || d2 < best->back().dist2) {
+    Result r{n.point, d2};
+    auto it = std::lower_bound(best->begin(), best->end(), r,
+                               [](const Result& a, const Result& b) {
+                                 return a.dist2 < b.dist2;
+                               });
+    best->insert(it, r);
+    if (best->size() > static_cast<size_t>(k)) {
+      best->pop_back();
+    }
+  }
+  const float delta = query[n.axis] - n.point[n.axis];
+  const int near = delta < 0 ? n.left : n.right;
+  const int far = delta < 0 ? n.right : n.left;
+  Search(near, query, k, best);
+  if (best->size() < static_cast<size_t>(k) ||
+      delta * delta < best->back().dist2) {
+    Search(far, query, k, best);
+  }
+}
+
+KdTree::Result KdTree::Nearest(const KdPoint& query) const {
+  assert(root_ >= 0);
+  std::vector<Result> best;
+  Search(root_, query, 1, &best);
+  return best.front();
+}
+
+std::vector<KdTree::Result> KdTree::KNearest(const KdPoint& query,
+                                             int k) const {
+  std::vector<Result> best;
+  if (root_ >= 0) {
+    Search(root_, query, k, &best);
+  }
+  return best;
+}
+
+}  // namespace easyio::apps

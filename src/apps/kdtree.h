@@ -1,0 +1,56 @@
+// k-d tree for the paper's KNN workload [15]: workers read sample points
+// from files and search for nearest neighbours in a pre-built tree.
+
+#ifndef EASYIO_APPS_KDTREE_H_
+#define EASYIO_APPS_KDTREE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace easyio::apps {
+
+inline constexpr int kKdDims = 4;
+
+using KdPoint = std::array<float, kKdDims>;
+
+class KdTree {
+ public:
+  // Builds a balanced tree over the points (median splits).
+  explicit KdTree(std::vector<KdPoint> points);
+
+  size_t size() const { return nodes_.size(); }
+
+  // Index (into the original point order is NOT preserved; returns the point
+  // itself) of the nearest neighbour plus its squared distance.
+  struct Result {
+    KdPoint point;
+    float dist2;
+  };
+  Result Nearest(const KdPoint& query) const;
+
+  // k nearest neighbours, ascending by distance.
+  std::vector<Result> KNearest(const KdPoint& query, int k) const;
+
+ private:
+  struct Node {
+    KdPoint point;
+    int axis;
+    int left = -1;
+    int right = -1;
+  };
+
+  int Build(std::vector<KdPoint>& pts, int lo, int hi, int depth);
+  void Search(int node, const KdPoint& query, int k,
+              std::vector<Result>* best) const;
+
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+float Dist2(const KdPoint& a, const KdPoint& b);
+
+}  // namespace easyio::apps
+
+#endif  // EASYIO_APPS_KDTREE_H_

@@ -1,0 +1,118 @@
+#include "src/apps/lz.h"
+
+#include <cstring>
+
+namespace easyio::apps {
+
+namespace {
+
+constexpr size_t kHashBits = 16;
+constexpr size_t kHashSize = 1u << kHashBits;
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 0xffff;
+constexpr size_t kMaxDist = 0xffff;
+
+uint32_t Hash4(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 0x9e3779b1u) >> (32 - kHashBits);
+}
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v & 0xff));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+void EmitLiteral(std::vector<uint8_t>* out, const uint8_t* p, size_t n) {
+  while (n > 0) {
+    const size_t chunk = n > kMaxMatch ? kMaxMatch : n;
+    out->push_back(0x00);
+    PutU16(out, static_cast<uint16_t>(chunk));
+    out->insert(out->end(), p, p + chunk);
+    p += chunk;
+    n -= chunk;
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> LzCompress(const uint8_t* data, size_t n) {
+  std::vector<uint8_t> out;
+  out.reserve(n / 2 + 16);
+  std::vector<uint32_t> table(kHashSize, 0);  // position+1; 0 = empty
+
+  size_t i = 0;
+  size_t literal_start = 0;
+  while (i + kMinMatch <= n) {
+    const uint32_t h = Hash4(data + i);
+    const uint32_t candidate = table[h];
+    table[h] = static_cast<uint32_t>(i + 1);
+    if (candidate != 0) {
+      const size_t pos = candidate - 1;
+      const size_t dist = i - pos;
+      if (dist > 0 && dist <= kMaxDist &&
+          std::memcmp(data + pos, data + i, kMinMatch) == 0) {
+        // Extend the match.
+        size_t len = kMinMatch;
+        while (i + len < n && len < kMaxMatch &&
+               data[pos + len] == data[i + len]) {
+          len++;
+        }
+        EmitLiteral(&out, data + literal_start, i - literal_start);
+        out.push_back(0x01);
+        PutU16(&out, static_cast<uint16_t>(len));
+        PutU16(&out, static_cast<uint16_t>(dist));
+        i += len;
+        literal_start = i;
+        continue;
+      }
+    }
+    i++;
+  }
+  EmitLiteral(&out, data + literal_start, n - literal_start);
+  return out;
+}
+
+bool LzDecompress(const uint8_t* data, size_t n, std::vector<uint8_t>* out) {
+  out->clear();
+  size_t i = 0;
+  while (i < n) {
+    const uint8_t tag = data[i];
+    if (tag == 0x00) {
+      if (i + 3 > n) {
+        return false;
+      }
+      const size_t len = GetU16(data + i + 1);
+      i += 3;
+      if (i + len > n) {
+        return false;
+      }
+      out->insert(out->end(), data + i, data + i + len);
+      i += len;
+    } else if (tag == 0x01) {
+      if (i + 5 > n) {
+        return false;
+      }
+      const size_t len = GetU16(data + i + 1);
+      const size_t dist = GetU16(data + i + 3);
+      i += 5;
+      if (dist == 0 || dist > out->size()) {
+        return false;
+      }
+      // Byte-wise copy: overlapping matches are legal (RLE-style).
+      size_t src = out->size() - dist;
+      for (size_t k = 0; k < len; ++k) {
+        out->push_back((*out)[src + k]);
+      }
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace easyio::apps

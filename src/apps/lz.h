@@ -1,0 +1,25 @@
+// A Snappy-style byte-oriented LZ77 compressor/decompressor (the paper's
+// Snappy workload [39] decompresses pre-built files and writes the output).
+//
+// Format: a stream of tokens.
+//   literal: 0x00 len:u16  followed by `len` raw bytes
+//   match:   0x01 len:u16 dist:u16  copy `len` bytes from `dist` back
+// Greedy matching via a 64K-entry hash table over 4-byte prefixes — the same
+// structure real Snappy uses, minus the varint packaging.
+
+#ifndef EASYIO_APPS_LZ_H_
+#define EASYIO_APPS_LZ_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace easyio::apps {
+
+std::vector<uint8_t> LzCompress(const uint8_t* data, size_t n);
+// Returns false on malformed input.
+bool LzDecompress(const uint8_t* data, size_t n, std::vector<uint8_t>* out);
+
+}  // namespace easyio::apps
+
+#endif  // EASYIO_APPS_LZ_H_

@@ -1,0 +1,16 @@
+// CRC32 (Castagnoli polynomial) used to checksum on-media log entries so
+// mount-time recovery can detect torn or stale entries.
+
+#ifndef EASYIO_COMMON_CRC32_H_
+#define EASYIO_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace easyio {
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace easyio
+
+#endif  // EASYIO_COMMON_CRC32_H_

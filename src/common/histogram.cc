@@ -1,0 +1,95 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace easyio {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value < kSubBuckets) {
+    return static_cast<int>(value);
+  }
+  // Top set bit selects the decade; next 6 bits select the sub-bucket.
+  const int msb = 63 - std::countl_zero(value);
+  const int decade = msb - 5;  // values < 64 handled above
+  const int sub = static_cast<int>((value >> (msb - 6)) & (kSubBuckets - 1));
+  const int idx = decade * kSubBuckets + sub;
+  return std::min(idx, kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(int bucket) {
+  if (bucket < kSubBuckets) {
+    return static_cast<uint64_t>(bucket);
+  }
+  if (bucket >= kNumBuckets - 1) {
+    return UINT64_MAX;  // overflow bucket absorbs everything above the range
+  }
+  const int decade = bucket / kSubBuckets;
+  const int sub = bucket % kSubBuckets;
+  const int msb = decade + 5;
+  const uint64_t base = 1ull << msb;
+  const uint64_t step = 1ull << (msb - 6);
+  return base + static_cast<uint64_t>(sub + 1) * step - 1;
+}
+
+void Histogram::Record(uint64_t value_ns) {
+  buckets_[BucketFor(value_ns)]++;
+  count_++;
+  sum_ += value_ns;
+  min_ = std::min(min_, value_ns);
+  max_ = std::max(max_, value_ns);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0u);
+  count_ = 0;
+  sum_ = 0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target =
+      static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.2fus p50=%.2fus p99=%.2fus max=%.2fus",
+                static_cast<unsigned long long>(count_), Mean() / 1e3,
+                P50() / 1e3, P99() / 1e3, static_cast<double>(max_) / 1e3);
+  return buf;
+}
+
+}  // namespace easyio

@@ -1,0 +1,56 @@
+// Latency histogram with percentile queries.
+//
+// Log-linear bucketing (64 linear buckets per power-of-two decade) keeps the
+// footprint constant while giving <1.6% relative error on percentiles, which
+// is plenty for reproducing the paper's avg/P99 latency curves.
+
+#ifndef EASYIO_COMMON_HISTOGRAM_H_
+#define EASYIO_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace easyio {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(uint64_t value_ns);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+
+  // q in [0, 1]; returns an upper-bound estimate of the q-quantile.
+  uint64_t Percentile(double q) const;
+
+  uint64_t P50() const { return Percentile(0.50); }
+  uint64_t P99() const { return Percentile(0.99); }
+  uint64_t P999() const { return Percentile(0.999); }
+
+  // Human-readable one-line summary in microseconds.
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBuckets = 64;
+  static constexpr int kDecades = 40;  // covers [0, 2^40) ns ≈ 18 minutes
+  static constexpr int kNumBuckets = kSubBuckets * kDecades;
+
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketUpperBound(int bucket);
+
+  std::vector<uint32_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+}  // namespace easyio
+
+#endif  // EASYIO_COMMON_HISTOGRAM_H_

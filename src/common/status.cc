@@ -1,0 +1,52 @@
+#include "src/common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace easyio {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kExists: return "EXISTS";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kNoSpace: return "NO_SPACE";
+    case ErrorCode::kNotDir: return "NOT_DIR";
+    case ErrorCode::kIsDir: return "IS_DIR";
+    case ErrorCode::kNotEmpty: return "NOT_EMPTY";
+    case ErrorCode::kBadFd: return "BAD_FD";
+    case ErrorCode::kTooManyLinks: return "TOO_MANY_LINKS";
+    case ErrorCode::kNameTooLong: return "NAME_TOO_LONG";
+    case ErrorCode::kIoError: return "IO_ERROR";
+    case ErrorCode::kBusy: return "BUSY";
+    case ErrorCode::kCorruption: return "CORRUPTION";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+namespace internal {
+
+void CheckOkFailed(const Status& status, const char* expr, const char* file,
+                   int line) {
+  std::fprintf(stderr, "EASYIO_CHECK_OK failed at %s:%d: %s -> %s\n", file,
+               line, expr, status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace easyio

@@ -1,0 +1,173 @@
+// Lightweight error-handling vocabulary for the EasyIO codebase.
+//
+// The simulated kernel/filesystem code is exception-free; fallible operations
+// return Status (or StatusOr<T> when they produce a value). Codes intentionally
+// mirror the POSIX errno values the real NOVA would surface so that workload
+// code reads naturally.
+
+#ifndef EASYIO_COMMON_STATUS_H_
+#define EASYIO_COMMON_STATUS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace easyio {
+
+enum class ErrorCode : int32_t {
+  kOk = 0,
+  kNotFound,       // ENOENT
+  kExists,         // EEXIST
+  kInvalidArgument,// EINVAL
+  kNoSpace,        // ENOSPC
+  kNotDir,         // ENOTDIR
+  kIsDir,          // EISDIR
+  kNotEmpty,       // ENOTEMPTY
+  kBadFd,          // EBADF
+  kTooManyLinks,   // EMLINK
+  kNameTooLong,    // ENAMETOOLONG
+  kIoError,        // EIO (e.g. checksum mismatch detected at read)
+  kBusy,           // EBUSY
+  kCorruption,     // unrecoverable on-media inconsistency found at mount
+  kInternal,       // invariant violation inside the library
+};
+
+std::string_view ErrorCodeName(ErrorCode code);
+
+// Value-type status. Cheap to copy in the OK case.
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  explicit Status(ErrorCode code, std::string message = {})
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status NotFound(std::string msg = {}) {
+  return Status(ErrorCode::kNotFound, std::move(msg));
+}
+inline Status AlreadyExists(std::string msg = {}) {
+  return Status(ErrorCode::kExists, std::move(msg));
+}
+inline Status InvalidArgument(std::string msg = {}) {
+  return Status(ErrorCode::kInvalidArgument, std::move(msg));
+}
+inline Status NoSpace(std::string msg = {}) {
+  return Status(ErrorCode::kNoSpace, std::move(msg));
+}
+inline Status BadFd(std::string msg = {}) {
+  return Status(ErrorCode::kBadFd, std::move(msg));
+}
+inline Status IoError(std::string msg = {}) {
+  return Status(ErrorCode::kIoError, std::move(msg));
+}
+inline Status Corruption(std::string msg = {}) {
+  return Status(ErrorCode::kCorruption, std::move(msg));
+}
+inline Status Internal(std::string msg = {}) {
+  return Status(ErrorCode::kInternal, std::move(msg));
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+// StatusOr<T>: either a T or a non-OK Status.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(rep_).ok() && "StatusOr constructed from OK status");
+  }
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(rep_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+// Propagation helpers.
+#define EASYIO_RETURN_IF_ERROR(expr)             \
+  do {                                           \
+    ::easyio::Status easyio_status_ = (expr);    \
+    if (!easyio_status_.ok()) {                  \
+      return easyio_status_;                     \
+    }                                            \
+  } while (0)
+
+#define EASYIO_ASSIGN_OR_RETURN(lhs, expr)       \
+  EASYIO_ASSIGN_OR_RETURN_IMPL_(                 \
+      EASYIO_STATUS_CONCAT_(statusor_, __LINE__), lhs, expr)
+
+#define EASYIO_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr) \
+  auto var = (expr);                                  \
+  if (!var.ok()) {                                    \
+    return var.status();                              \
+  }                                                   \
+  lhs = std::move(var).value()
+
+#define EASYIO_STATUS_CONCAT_INNER_(a, b) a##b
+#define EASYIO_STATUS_CONCAT_(a, b) EASYIO_STATUS_CONCAT_INNER_(a, b)
+
+// Crash on non-OK status; for callers that have proven the call cannot fail.
+#define EASYIO_CHECK_OK(expr)                              \
+  do {                                                     \
+    ::easyio::Status easyio_status_ = (expr);              \
+    if (!easyio_status_.ok()) {                            \
+      ::easyio::internal::CheckOkFailed(                   \
+          easyio_status_, #expr, __FILE__, __LINE__);      \
+    }                                                      \
+  } while (0)
+
+namespace internal {
+[[noreturn]] void CheckOkFailed(const Status& status, const char* expr,
+                                const char* file, int line);
+}  // namespace internal
+
+}  // namespace easyio
+
+#endif  // EASYIO_COMMON_STATUS_H_

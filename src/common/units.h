@@ -1,0 +1,41 @@
+// Byte and time unit helpers shared across the codebase.
+//
+// Virtual time in the simulator is a plain uint64_t of nanoseconds (SimTime in
+// src/sim/time.h); these helpers keep call sites readable.
+
+#ifndef EASYIO_COMMON_UNITS_H_
+#define EASYIO_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace easyio {
+
+constexpr uint64_t operator""_KB(unsigned long long v) { return v << 10; }
+constexpr uint64_t operator""_MB(unsigned long long v) { return v << 20; }
+constexpr uint64_t operator""_GB(unsigned long long v) { return v << 30; }
+
+constexpr uint64_t operator""_ns(unsigned long long v) { return v; }
+constexpr uint64_t operator""_us(unsigned long long v) { return v * 1000; }
+constexpr uint64_t operator""_ms(unsigned long long v) { return v * 1000 * 1000; }
+constexpr uint64_t operator""_s(unsigned long long v) {
+  return v * 1000ull * 1000 * 1000;
+}
+
+// Bandwidth expressed as bytes per second; transfers convert to nanoseconds.
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+// Duration in ns of moving `bytes` at `gbps` (GiB/s).
+constexpr uint64_t TransferNs(uint64_t bytes, double gbps) {
+  return static_cast<uint64_t>(static_cast<double>(bytes) / (gbps * kGiB) * 1e9);
+}
+
+// Bandwidth in GiB/s of moving `bytes` in `ns`.
+constexpr double GibPerSec(uint64_t bytes, uint64_t ns) {
+  return ns == 0 ? 0.0
+                 : static_cast<double>(bytes) / kGiB /
+                       (static_cast<double>(ns) / 1e9);
+}
+
+}  // namespace easyio
+
+#endif  // EASYIO_COMMON_UNITS_H_

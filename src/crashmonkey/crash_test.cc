@@ -1,0 +1,372 @@
+#include "src/crashmonkey/crash_test.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/dma/dma_engine.h"
+#include "src/easyio/channel_manager.h"
+#include "src/easyio/easy_io_fs.h"
+#include "src/pmem/slow_memory.h"
+#include "src/sim/simulation.h"
+
+namespace easyio::crashmonkey {
+
+namespace {
+
+std::vector<std::byte> Pattern(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) {
+    b = static_cast<std::byte>(rng.Next());
+  }
+  return out;
+}
+
+void ModelWrite(ExpectedState& st, const std::string& path, uint64_t off,
+                const std::vector<std::byte>& data) {
+  auto it = st.find(path);
+  assert(it != st.end() && "model: write to missing file");
+  auto& content = *it->second;
+  if (content.size() < off + data.size()) {
+    content.resize(off + data.size(), std::byte{0});
+  }
+  std::copy(data.begin(), data.end(), content.begin() + off);
+}
+
+}  // namespace
+
+WorkloadBuilder& WorkloadBuilder::Create(const std::string& path) {
+  ops_.push_back(CrashOp{
+      "create " + path,
+      [path](fs::FileSystem& fs) {
+        int fd = *fs.Create(path);
+        EASYIO_CHECK_OK(fs.Close(fd));
+      },
+      [path](ExpectedState& st) {
+        st[path] = std::make_shared<std::vector<std::byte>>();
+      }});
+  return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::Write(const std::string& path, uint64_t off,
+                                        std::vector<std::byte> data) {
+  ops_.push_back(CrashOp{
+      "write " + path,
+      [path, off, data](fs::FileSystem& fs) {
+        int fd = *fs.Open(path);
+        EASYIO_CHECK_OK(fs.Write(fd, off, data).status());
+        EASYIO_CHECK_OK(fs.Close(fd));
+      },
+      [path, off, data](ExpectedState& st) {
+        ModelWrite(st, path, off, data);
+      }});
+  return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::Append(const std::string& path,
+                                         std::vector<std::byte> data) {
+  ops_.push_back(CrashOp{
+      "append " + path,
+      [path, data](fs::FileSystem& fs) {
+        int fd = *fs.Open(path);
+        EASYIO_CHECK_OK(fs.Append(fd, data).status());
+        EASYIO_CHECK_OK(fs.Close(fd));
+      },
+      [path, data](ExpectedState& st) {
+        auto it = st.find(path);
+        assert(it != st.end());
+        ModelWrite(st, path, it->second->size(), data);
+      }});
+  return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::Unlink(const std::string& path) {
+  ops_.push_back(CrashOp{
+      "unlink " + path,
+      [path](fs::FileSystem& fs) { EASYIO_CHECK_OK(fs.Unlink(path)); },
+      [path](ExpectedState& st) { st.erase(path); }});
+  return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::Link(const std::string& existing,
+                                       const std::string& to) {
+  ops_.push_back(CrashOp{
+      "link " + existing + " -> " + to,
+      [existing, to](fs::FileSystem& fs) {
+        EASYIO_CHECK_OK(fs.Link(existing, to));
+      },
+      [existing, to](ExpectedState& st) {
+        st[to] = st.at(existing);  // shares content (hard link)
+      }});
+  return *this;
+}
+
+WorkloadBuilder& WorkloadBuilder::Rename(const std::string& from,
+                                         const std::string& to) {
+  ops_.push_back(CrashOp{
+      "rename " + from + " -> " + to,
+      [from, to](fs::FileSystem& fs) {
+        EASYIO_CHECK_OK(fs.Rename(from, to));
+      },
+      [from, to](ExpectedState& st) {
+        st[to] = st.at(from);
+        st.erase(from);
+      }});
+  return *this;
+}
+
+std::vector<CrashWorkload> StandardWorkloads(uint64_t seed) {
+  std::vector<CrashWorkload> out;
+
+  {
+    // create_delete: create, write, remove on regular files.
+    WorkloadBuilder b;
+    for (int round = 0; round < 11; ++round) {
+      for (int i = 0; i < 6; ++i) {
+        const std::string path =
+            "/cd_f" + std::to_string(round * 6 + i);
+        b.Create(path);
+        b.Write(path, 0,
+                Pattern(3000 + static_cast<size_t>(i) * 2500,
+                        seed + static_cast<uint64_t>(round * 6 + i)));
+      }
+      for (int i = 0; i < 6; i += 2) {
+        b.Unlink("/cd_f" + std::to_string(round * 6 + i));
+      }
+    }
+    out.push_back({"create_delete", "create, write, remove on regular files",
+                   b.Build()});
+  }
+
+  {
+    // generic_056: create, write, link on regular files.
+    WorkloadBuilder b;
+    for (int round = 0; round < 40; ++round) {
+      const std::string a = "/g56_a" + std::to_string(round);
+      const std::string l = "/g56_b" + std::to_string(round);
+      b.Create(a);
+      b.Write(a, 0, Pattern(16000, seed + 100 + static_cast<uint64_t>(round)));
+      b.Link(a, l);
+      // Writing through one name must show through the other.
+      b.Write(a, 4096,
+              Pattern(8192, seed + 200 + static_cast<uint64_t>(round)));
+      if (round % 2 == 0) {
+        b.Unlink(a);  // the link keeps the data alive
+      }
+    }
+    out.push_back({"generic_056", "create, write, link on regular files",
+                   b.Build()});
+  }
+
+  {
+    // generic_090: write, append, link on regular files.
+    WorkloadBuilder b;
+    for (int round = 0; round < 34; ++round) {
+      const std::string log = "/g90_log" + std::to_string(round);
+      b.Create(log);
+      for (int k = 0; k < 3; ++k) {
+        b.Append(log, Pattern(4096, seed + 300 +
+                                        static_cast<uint64_t>(round * 3 + k)));
+      }
+      b.Link(log, "/g90_mirror" + std::to_string(round));
+      b.Append(log, Pattern(5000, seed + 400 + static_cast<uint64_t>(round)));
+      b.Write(log, 1000,
+              Pattern(2000, seed + 500 + static_cast<uint64_t>(round)));
+    }
+    out.push_back({"generic_090", "write, append, link on regular files",
+                   b.Build()});
+  }
+
+  {
+    // generic_322: create, write, rename on regular files.
+    WorkloadBuilder b;
+    for (int round = 0; round < 51; ++round) {
+      const std::string tmp = "/g322_tmp" + std::to_string(round);
+      const std::string final_name = "/g322_final" + std::to_string(round % 2);
+      b.Create(tmp);
+      b.Write(tmp, 0,
+              Pattern(20000 + static_cast<size_t>(round) * 1000,
+                      seed + 600 + static_cast<uint64_t>(round)));
+      b.Rename(tmp, final_name);  // later rounds atomically replace
+    }
+    out.push_back({"generic_322", "create, write, rename on regular files",
+                   b.Build()});
+  }
+  return out;
+}
+
+namespace {
+
+struct Env {
+  sim::Simulation sim{{.num_cores = 2}};
+  pmem::SlowMemory mem;
+  std::unique_ptr<core::EasyIoFs> fs;
+  std::unique_ptr<dma::DmaEngine> engine;
+  std::unique_ptr<core::ChannelManager> cm;
+
+  explicit Env(const nova::NovaFs::Options& opts)
+      : mem(&sim, pmem::MediaParams::TwoNode(), 24_MB) {
+    fs = std::make_unique<core::EasyIoFs>(&mem, opts,
+                                          core::EasyIoFs::EasyOptions{});
+    EASYIO_CHECK_OK(fs->Format());
+    engine = std::make_unique<dma::DmaEngine>(
+        &mem, fs->layout().comp_region_off, 16);
+    cm = std::make_unique<core::ChannelManager>(
+        &sim, engine.get(), core::ChannelManager::Options{});
+    fs->AttachChannelManager(cm.get());
+  }
+};
+
+// Collects the union of paths any op may touch (model side).
+std::set<std::string> PathUniverse(const CrashWorkload& workload) {
+  ExpectedState st;
+  std::set<std::string> paths;
+  for (const auto& op : workload.ops) {
+    op.model(st);
+    for (const auto& [path, content] : st) {
+      paths.insert(path);
+    }
+  }
+  return paths;
+}
+
+ExpectedState StateAfter(const CrashWorkload& workload, int last_op) {
+  ExpectedState st;
+  for (int i = 0; i <= last_op && i < static_cast<int>(workload.ops.size());
+       ++i) {
+    workload.ops[static_cast<size_t>(i)].model(st);
+  }
+  return st;
+}
+
+// Compares the recovered filesystem against one candidate expected state.
+bool MatchesState(fs::FileSystem& fs, sim::Simulation& sim,
+                  const ExpectedState& expected,
+                  const std::set<std::string>& universe) {
+  bool ok = true;
+  sim.Spawn(0, [&] {
+    for (const std::string& path : universe) {
+      auto it = expected.find(path);
+      auto fd = fs.Open(path);
+      if (it == expected.end()) {
+        if (fd.ok()) {
+          ok = false;
+          EASYIO_CHECK_OK(fs.Close(*fd));
+        }
+        continue;
+      }
+      if (!fd.ok()) {
+        ok = false;
+        continue;
+      }
+      const auto& want = *it->second;
+      auto st = fs.StatFd(*fd);
+      if (!st.ok() || st->size != want.size()) {
+        ok = false;
+      } else if (!want.empty()) {
+        std::vector<std::byte> got(want.size());
+        auto r = fs.Read(*fd, 0, got);
+        if (!r.ok() || *r != want.size() || got != want) {
+          ok = false;
+        }
+      }
+      EASYIO_CHECK_OK(fs.Close(*fd));
+    }
+  });
+  sim.Run();
+  return ok;
+}
+
+}  // namespace
+
+nova::NovaFs::Options DefaultCrashFsOptions() {
+  nova::NovaFs::Options opts;
+  opts.inode_count = 512;
+  opts.journal_slots = 8;
+  return opts;
+}
+
+CrashTestResult RunCrashTest(const CrashWorkload& workload, int max_points,
+                             const nova::NovaFs::Options& fs_options) {
+  // Pass 1: count the workload's persist barriers.
+  uint64_t total_barriers = 0;
+  {
+    Env env(fs_options);
+    const uint64_t base = env.mem.barrier_count();
+    env.sim.Spawn(0, [&] {
+      for (const auto& op : workload.ops) {
+        op.apply(*env.fs);
+      }
+    });
+    env.sim.Run();
+    total_barriers = env.mem.barrier_count() - base;
+  }
+
+  const std::set<std::string> universe = PathUniverse(workload);
+  const int points =
+      static_cast<int>(std::min<uint64_t>(total_barriers,
+                                          static_cast<uint64_t>(max_points)));
+  CrashTestResult result;
+  result.total_points = points;
+
+  for (int p = 1; p <= points; ++p) {
+    const uint64_t k =
+        total_barriers * static_cast<uint64_t>(p) /
+        static_cast<uint64_t>(points);
+
+    Env env(fs_options);
+    env.mem.EnableCrashTracking();
+    const uint64_t base = env.mem.barrier_count();
+    env.mem.set_barrier_hook([&env, base, k](uint64_t count) {
+      if (count == base + k) {
+        env.sim.RequestStop();
+      }
+    });
+    int completed = -1;
+    env.sim.Spawn(0, [&] {
+      for (size_t i = 0; i < workload.ops.size(); ++i) {
+        workload.ops[i].apply(*env.fs);
+        completed = static_cast<int>(i);
+      }
+    });
+    env.sim.Run();
+
+    const auto image = env.mem.CrashImage();
+
+    // Mount a fresh instance on the crash image and recover.
+    sim::Simulation sim2({.num_cores = 2});
+    pmem::SlowMemory mem2(&sim2, pmem::MediaParams::TwoNode(), 24_MB);
+    mem2.LoadImage(image);
+    core::EasyIoFs fs2(&mem2, fs_options, core::EasyIoFs::EasyOptions{});
+    const Status mount = fs2.Mount();
+    if (!mount.ok()) {
+      if (result.failures.size() < 5) {
+        result.failures.push_back(workload.name + " @barrier " +
+                                  std::to_string(k) +
+                                  ": mount failed: " + mount.ToString());
+      }
+      continue;
+    }
+    // No ChannelManager attached: reads take the memcpy path, which is all
+    // the checker needs.
+
+    const ExpectedState s_last = StateAfter(workload, completed);
+    const ExpectedState s_next = StateAfter(workload, completed + 1);
+    const bool ok = MatchesState(fs2, sim2, s_last, universe) ||
+                    MatchesState(fs2, sim2, s_next, universe);
+    if (ok) {
+      result.passed++;
+    } else if (result.failures.size() < 5) {
+      result.failures.push_back(
+          workload.name + " @barrier " + std::to_string(k) +
+          ": recovered state matches neither pre- nor post-state of op " +
+          std::to_string(completed + 1));
+    }
+  }
+  return result;
+}
+
+}  // namespace easyio::crashmonkey

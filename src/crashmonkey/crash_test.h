@@ -1,0 +1,95 @@
+// CrashMonkey-style black-box crash-consistency testing (paper §6.5,
+// [OSDI'18]).
+//
+// A workload is a deterministic sequence of atomic filesystem operations
+// plus a host-side *expected-state model* (a tiny in-memory filesystem with
+// hard-link aliasing). The harness:
+//
+//   1. runs the workload once to count persist barriers (legal crash
+//      points — every fence boundary, including DMA completion-record
+//      updates);
+//   2. for each sampled crash point k, re-runs the workload from scratch
+//      deterministically, stops the simulation exactly at barrier k,
+//      produces the crash image (in-flight DMA transfers rolled back to
+//      their durable prefix), mounts a fresh EasyIO instance on it, and
+//      runs recovery;
+//   3. checks that the recovered state equals the model state after the
+//      last *completed* operation, or after the one possibly-in-flight
+//      operation — anything else is an atomicity or durability bug.
+//
+// The four workloads mirror the paper's Table 2: create_delete,
+// generic_056 (create/write/link), generic_090 (write/append/link),
+// generic_322 (create/write/rename).
+
+#ifndef EASYIO_CRASHMONKEY_CRASH_TEST_H_
+#define EASYIO_CRASHMONKEY_CRASH_TEST_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/fs/file_system.h"
+#include "src/nova/nova_fs.h"
+
+namespace easyio::crashmonkey {
+
+// Host-side expected state: path -> contents, with hard links sharing the
+// underlying vector.
+using FileContent = std::shared_ptr<std::vector<std::byte>>;
+using ExpectedState = std::map<std::string, FileContent>;
+
+struct CrashOp {
+  std::string description;
+  // Applies the operation to the filesystem under test (called in a task).
+  std::function<void(fs::FileSystem&)> apply;
+  // Applies the operation to the expected-state model.
+  std::function<void(ExpectedState&)> model;
+};
+
+class WorkloadBuilder {
+ public:
+  WorkloadBuilder& Create(const std::string& path);
+  WorkloadBuilder& Write(const std::string& path, uint64_t off,
+                         std::vector<std::byte> data);
+  WorkloadBuilder& Append(const std::string& path,
+                          std::vector<std::byte> data);
+  WorkloadBuilder& Unlink(const std::string& path);
+  WorkloadBuilder& Link(const std::string& existing, const std::string& to);
+  WorkloadBuilder& Rename(const std::string& from, const std::string& to);
+
+  std::vector<CrashOp> Build() { return std::move(ops_); }
+
+ private:
+  std::vector<CrashOp> ops_;
+};
+
+struct CrashWorkload {
+  std::string name;
+  std::string description;
+  std::vector<CrashOp> ops;
+};
+
+// The paper's Table 2 workload set.
+std::vector<CrashWorkload> StandardWorkloads(uint64_t seed);
+
+struct CrashTestResult {
+  int total_points = 0;
+  int passed = 0;
+  std::vector<std::string> failures;  // first few diagnostics
+};
+
+// Default filesystem geometry used by the crash runs.
+nova::NovaFs::Options DefaultCrashFsOptions();
+
+// Runs up to `max_points` crash points (evenly sampled over all persist
+// barriers) for the workload on EasyIO.
+CrashTestResult RunCrashTest(const CrashWorkload& workload, int max_points,
+                             const nova::NovaFs::Options& fs_options =
+                                 DefaultCrashFsOptions());
+
+}  // namespace easyio::crashmonkey
+
+#endif  // EASYIO_CRASHMONKEY_CRASH_TEST_H_

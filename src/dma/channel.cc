@@ -1,0 +1,224 @@
+#include "src/dma/channel.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace easyio::dma {
+
+Channel::Channel(pmem::SlowMemory* mem, uint8_t id, uint64_t record_off)
+    : mem_(mem), sim_(mem->simulation()), id_(id), record_off_(record_off) {
+  // Start a fresh CNT era above anything a previous incarnation issued, so
+  // every pre-crash SN compares as completed (recovery has already decided
+  // their fate by the time new I/O is admitted).
+  const CompletionRecord old = record();
+  cnt_ = old.cnt + 1;
+  PersistRecord(/*addr=*/0, cnt_);
+}
+
+void Channel::PersistRecord(uint64_t addr, uint64_t cnt) {
+  // Hardware-side update: no CPU cost, but it is a persistence event (the
+  // completion buffers live in a persistent region, §4.2).
+  CompletionRecord rec{addr, cnt};
+  std::memcpy(mem_->As<CompletionRecord>(record_off_), &rec, sizeof(rec));
+  mem_->PersistBarrier();
+}
+
+void Channel::ChargeSubmit(size_t batch_size) {
+  if (!sim_->in_task() || batch_size == 0) {
+    return;
+  }
+  const auto& p = mem_->params();
+  sim_->Advance(p.dma_submit_ns + (batch_size - 1) * p.dma_batch_extra_ns);
+}
+
+Sn Channel::Enqueue(Descriptor desc) {
+  assert(desc.size > 0);
+  Pending pending;
+  pending.slot = next_slot_;
+  pending.cnt = cnt_;
+  if (++next_slot_ > kRingSlots) {
+    next_slot_ = 1;
+    cnt_++;
+  }
+  if (desc.dir == Descriptor::Dir::kWrite) {
+    // Snapshot-then-copy: the payload lands eagerly (the issuing uthread's
+    // buffer is guaranteed stable until completion by the runtime), and the
+    // undo snapshot lets the crash injector roll back the un-transferred
+    // suffix.
+    pending.inflight_token =
+        mem_->RegisterInflightWrite(desc.pmem_off, desc.size);
+    std::memcpy(mem_->raw() + desc.pmem_off, desc.dram, desc.size);
+  }
+  const Sn sn = Sn::Make(id_, pending.cnt, pending.slot);
+  pending.desc = std::move(desc);
+  queue_.push_back(std::move(pending));
+  return sn;
+}
+
+Sn Channel::Submit(Descriptor desc) {
+  ChargeSubmit(1);
+  const Sn sn = Enqueue(std::move(desc));
+  MaybeStart();
+  return sn;
+}
+
+std::vector<Sn> Channel::SubmitBatch(std::vector<Descriptor> descs) {
+  ChargeSubmit(descs.size());
+  std::vector<Sn> sns;
+  sns.reserve(descs.size());
+  for (auto& d : descs) {
+    sns.push_back(Enqueue(std::move(d)));
+  }
+  MaybeStart();
+  return sns;
+}
+
+bool Channel::IsComplete(Sn sn) const {
+  if (sn.none()) {
+    return true;
+  }
+  assert(sn.channel == id_);
+  return record().CompletedSeq() >= sn.seq;
+}
+
+void Channel::WaitSn(Sn sn) {
+  if (IsComplete(sn)) {
+    return;
+  }
+  waiters_.emplace(sn.seq, sim_->current());
+  sim_->Block();
+}
+
+void Channel::WaitSnBusy(Sn sn) {
+  if (IsComplete(sn)) {
+    return;
+  }
+  waiters_.emplace(sn.seq, sim_->current());
+  sim_->BlockHoldingCore();
+}
+
+void Channel::MaybeStart() {
+  if (engine_busy_ || suspended_ || queue_.empty()) {
+    return;
+  }
+  engine_busy_ = true;
+  // Engine-side fetch/launch gap, then the bandwidth flow.
+  sim_->ScheduleAfter(mem_->params().dma_startup_ns, [this] {
+    if (suspended_) {
+      engine_busy_ = false;  // Resume() will restart us
+      return;
+    }
+    assert(!queue_.empty());
+    Pending& head = queue_.front();
+    head.started = true;
+    head.transfer_start = sim_->now();
+    const auto& p = mem_->params();
+    const bool is_write = head.desc.dir == Descriptor::Dir::kWrite;
+    if (!is_write) {
+      // Reads materialize into the destination buffer at transfer start;
+      // CoW + deferred free guarantee the source blocks stay immutable.
+      std::memcpy(head.desc.dram, mem_->raw() + head.desc.pmem_off,
+                  head.desc.size);
+    }
+    auto& flows = is_write ? mem_->write_flows() : mem_->read_flows();
+    const double cap = is_write ? p.dma_write_chan_cap.Lookup(head.desc.size)
+                                : p.dma_read_chan_cap.Lookup(head.desc.size);
+    head.flow = flows.StartFlow(head.desc.size, cap, sim::FlowType::kDma,
+                                [this] { OnTransferDone(); });
+    if (is_write) {
+      mem_->SetInflightFlow(head.inflight_token, &flows, head.flow);
+    }
+  });
+}
+
+void Channel::OnTransferDone() {
+  assert(!queue_.empty());
+  Pending done = std::move(queue_.front());
+  queue_.pop_front();
+
+  // Post-descriptor housekeeping keeps the channel busy for a
+  // direction-dependent fraction of the transfer time (see MediaParams);
+  // the requester already observes completion now.
+  const auto& p = mem_->params();
+  const double factor = done.desc.dir == Descriptor::Dir::kRead
+                            ? p.dma_read_cooldown_factor
+                            : p.dma_write_cooldown_factor;
+  const uint64_t cooldown = static_cast<uint64_t>(
+      static_cast<double>(sim_->now() - done.transfer_start) * factor);
+  if (cooldown > 0) {
+    sim_->ScheduleAfter(cooldown, [this] {
+      engine_busy_ = false;
+      MaybeStart();
+    });
+  } else {
+    engine_busy_ = false;
+  }
+
+  PersistRecord(done.slot, done.cnt);
+  epoch_bytes_ += done.desc.size;
+  bytes_completed_ += done.desc.size;
+  descriptors_completed_++;
+  if (done.desc.dir == Descriptor::Dir::kWrite) {
+    mem_->CompleteInflightWrite(done.inflight_token);
+  }
+
+  // Wake SN waiters now covered by the completion record.
+  const uint64_t completed = record().CompletedSeq();
+  while (!waiters_.empty() && waiters_.begin()->first <= completed) {
+    sim::Task* t = waiters_.begin()->second;
+    waiters_.erase(waiters_.begin());
+    sim_->Wake(t);
+  }
+  if (done.desc.on_complete) {
+    done.desc.on_complete();
+  }
+  MaybeStart();
+}
+
+void Channel::Suspend() {
+  if (suspended_) {
+    return;
+  }
+  suspended_ = true;
+  if (sim_->in_task()) {
+    sim_->Advance(mem_->params().chancmd_ns);
+  }
+  if (!queue_.empty() && queue_.front().started) {
+    Pending& head = queue_.front();
+    const bool is_write = head.desc.dir == Descriptor::Dir::kWrite;
+    auto& flows = is_write ? mem_->write_flows() : mem_->read_flows();
+    const double progress = flows.Progress(head.flow);
+    if (progress < mem_->params().suspend_restart_threshold) {
+      // Restart semantics: abort the transfer; it re-runs from scratch on
+      // resume. A crash in between rolls the destination back fully.
+      flows.CancelFlow(head.flow);
+      head.started = false;
+      head.flow = 0;
+      if (is_write) {
+        mem_->SetInflightFlow(head.inflight_token, nullptr, 0);
+      }
+      engine_busy_ = false;
+    }
+    // Otherwise the in-flight transfer runs to completion; no new descriptor
+    // starts while suspended.
+  }
+}
+
+void Channel::Resume() {
+  if (!suspended_) {
+    return;
+  }
+  suspended_ = false;
+  if (sim_->in_task()) {
+    sim_->Advance(mem_->params().chancmd_ns);
+  }
+  MaybeStart();
+}
+
+uint64_t Channel::TakeEpochBytes() {
+  const uint64_t bytes = epoch_bytes_;
+  epoch_bytes_ = 0;
+  return bytes;
+}
+
+}  // namespace easyio::dma

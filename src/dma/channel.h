@@ -1,0 +1,129 @@
+// A single DMA channel of the on-chip engine (I/OAT abstraction).
+//
+// Descriptors submitted to a channel are processed strictly in FIFO order by
+// the (simulated) hardware: per-descriptor startup gap, then a bandwidth
+// flow through the slow-memory arbiter. Head-of-line blocking, the paper's
+// Fig 4 latency spikes and the multi-channel bandwidth shapes of Fig 3 all
+// emerge from this structure plus the MediaParams calibration.
+//
+// The channel's CompletionRecord lives in the persistent region of the
+// SlowMemory device and is updated by the "hardware" at completion time —
+// this is the object EasyIO's orderless commit and two-level locking read.
+
+#ifndef EASYIO_DMA_CHANNEL_H_
+#define EASYIO_DMA_CHANNEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "src/dma/sn.h"
+#include "src/pmem/slow_memory.h"
+#include "src/sim/simulation.h"
+
+namespace easyio::dma {
+
+struct Descriptor {
+  enum class Dir { kWrite, kRead };  // write: DRAM -> pmem; read: pmem -> DRAM
+
+  Dir dir = Dir::kWrite;
+  uint64_t pmem_off = 0;
+  void* dram = nullptr;  // source for writes, destination for reads
+  uint32_t size = 0;
+  // Optional notification fired (as a simulation event) right after the
+  // completion record is updated.
+  std::function<void()> on_complete;
+};
+
+class Channel {
+ public:
+  // `record_off` is the pmem offset of this channel's CompletionRecord.
+  // An existing record (from a previous incarnation / crash image) is
+  // honoured: the new era starts at cnt = old_cnt + 1 so every SN issued
+  // before the crash compares as completed (they were either validated or
+  // discarded by recovery).
+  Channel(pmem::SlowMemory* mem, uint8_t id, uint64_t record_off);
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  uint8_t id() const { return id_; }
+
+  // Submits one descriptor; charges the CPU-side submission cost to the
+  // calling task. Returns the SN identifying its completion.
+  Sn Submit(Descriptor desc);
+  // Batch submission: one doorbell, amortized per-descriptor cost
+  // (§2.2: both I/OAT and DSA support batch submission).
+  std::vector<Sn> SubmitBatch(std::vector<Descriptor> descs);
+
+  // True once the channel's completion record covers `sn`.
+  bool IsComplete(Sn sn) const;
+  uint64_t CompletedSeq() const { return record().CompletedSeq(); }
+
+  // Parks the calling task until `sn` completes. Returns immediately if it
+  // already has.
+  void WaitSn(Sn sn);
+  // Busy-polling variant: the calling task keeps its core occupied while
+  // waiting (how a synchronous filesystem like Fastmove/NOVA-DMA consumes
+  // DMA completions).
+  void WaitSnBusy(Sn sn);
+
+  // Outstanding descriptors (queued + in flight). Listing 2's admission
+  // control reads this as `q_deps`.
+  size_t queue_depth() const { return queue_.size(); }
+  bool idle() const { return queue_.empty(); }
+
+  // CHANCMD suspend/resume (paper §4.4). Suspension cost (74ns) is charged
+  // to the calling task if any. An in-flight descriptor either runs to
+  // completion or is restarted on resume, depending on how far it has
+  // progressed (MediaParams::suspend_restart_threshold).
+  void Suspend();
+  void Resume();
+  bool suspended() const { return suspended_; }
+
+  // Bandwidth-accounting for the channel manager's epoch loop.
+  uint64_t TakeEpochBytes();
+  uint64_t bytes_completed() const { return bytes_completed_; }
+  uint64_t descriptors_completed() const { return descriptors_completed_; }
+
+ private:
+  struct Pending {
+    Descriptor desc;
+    uint64_t slot = 0;
+    uint64_t cnt = 0;
+    uint64_t inflight_token = 0;  // crash tracking (writes only)
+    bool started = false;
+    sim::FlowResource::FlowId flow = 0;
+    sim::SimTime transfer_start = 0;
+  };
+
+  const CompletionRecord& record() const {
+    return *mem_->As<CompletionRecord>(record_off_);
+  }
+  void PersistRecord(uint64_t addr, uint64_t cnt);
+  Sn Enqueue(Descriptor desc);
+  void MaybeStart();         // engine side: begin head-of-queue descriptor
+  void OnTransferDone();     // engine side: head descriptor finished
+  void ChargeSubmit(size_t batch_size);
+
+  pmem::SlowMemory* mem_;
+  sim::Simulation* sim_;
+  uint8_t id_;
+  uint64_t record_off_;
+  uint64_t next_slot_ = 1;  // 1-based; wraps to 1 after kRingSlots
+  uint64_t cnt_;
+  std::deque<Pending> queue_;
+  bool engine_busy_ = false;   // startup gap or flow in progress
+  bool suspended_ = false;
+  uint64_t epoch_bytes_ = 0;
+  uint64_t bytes_completed_ = 0;
+  uint64_t descriptors_completed_ = 0;
+  std::multimap<uint64_t, sim::Task*> waiters_;  // seq -> parked task
+};
+
+}  // namespace easyio::dma
+
+#endif  // EASYIO_DMA_CHANNEL_H_

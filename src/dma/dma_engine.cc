@@ -1,0 +1,32 @@
+#include "src/dma/dma_engine.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace easyio::dma {
+
+DmaEngine::DmaEngine(pmem::SlowMemory* mem, uint64_t record_region_off,
+                     int num_channels) {
+  assert(num_channels > 0 && num_channels <= 256);
+  assert(record_region_off + RecordRegionSize(num_channels) <= mem->size());
+  channels_.reserve(static_cast<size_t>(num_channels));
+  for (int i = 0; i < num_channels; ++i) {
+    channels_.push_back(std::make_unique<Channel>(
+        mem, static_cast<uint8_t>(i),
+        record_region_off + static_cast<uint64_t>(i) *
+                                sizeof(CompletionRecord)));
+  }
+}
+
+uint64_t DmaEngine::CompletedSeqInImage(std::span<const std::byte> image,
+                                        uint64_t record_region_off,
+                                        int channel) {
+  CompletionRecord rec;
+  std::memcpy(&rec,
+              image.data() + record_region_off +
+                  static_cast<uint64_t>(channel) * sizeof(CompletionRecord),
+              sizeof(rec));
+  return rec.CompletedSeq();
+}
+
+}  // namespace easyio::dma

@@ -1,0 +1,51 @@
+// DmaEngine: the machine's set of on-chip DMA channels.
+//
+// Channels 0..channels_per_engine-1 belong to socket 0's engine, the next
+// group to socket 1, and so on; the per-engine aggregate bandwidth caps are
+// applied by the SlowMemory flow model. Completion records for all channels
+// live in one contiguous persistent region whose offset the filesystem
+// layout reserves (§4.2: "we place these completion buffers in a persistent
+// region with their starting addresses recorded in advance").
+
+#ifndef EASYIO_DMA_DMA_ENGINE_H_
+#define EASYIO_DMA_DMA_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/dma/channel.h"
+#include "src/dma/sn.h"
+#include "src/pmem/slow_memory.h"
+
+namespace easyio::dma {
+
+class DmaEngine {
+ public:
+  // Creates channels backed by completion records at `record_region_off`.
+  // Existing record contents (e.g. from a crash image) are honoured; see
+  // Channel's constructor.
+  DmaEngine(pmem::SlowMemory* mem, uint64_t record_region_off,
+            int num_channels);
+
+  static size_t RecordRegionSize(int num_channels) {
+    return static_cast<size_t>(num_channels) * sizeof(CompletionRecord);
+  }
+
+  int num_channels() const { return static_cast<int>(channels_.size()); }
+  Channel& channel(int i) { return *channels_[i]; }
+  const Channel& channel(int i) const { return *channels_[i]; }
+
+  // Completed sequence for a channel read directly from a raw device image —
+  // what mount-time recovery uses before any engine object exists.
+  static uint64_t CompletedSeqInImage(std::span<const std::byte> image,
+                                      uint64_t record_region_off, int channel);
+
+ private:
+  std::vector<std::unique_ptr<Channel>> channels_;
+};
+
+}  // namespace easyio::dma
+
+#endif  // EASYIO_DMA_DMA_ENGINE_H_

@@ -1,0 +1,67 @@
+// Sequence numbers (SN) — the heart of EasyIO's orderless file operation
+// (paper §4.2).
+//
+// Each DMA channel owns a *completion record* in a predefined persistent
+// region: the hardware completion buffer (ADDR: the ring slot of the most
+// recently finished descriptor) plus a software-maintained wraparound counter
+// (CNT, incremented per ring wrap). CNT, the channel ID and ADDR together
+// form an SN that increases monotonically as the channel completes work, so
+//
+//   "is the write whose log entry carries SN s durable?"
+//     <=>  completed_sn(channel(s)) >= s
+//
+// holds across crashes, which is what lets metadata commit in parallel with
+// the data DMA and still recover correctly.
+
+#ifndef EASYIO_DMA_SN_H_
+#define EASYIO_DMA_SN_H_
+
+#include <cstdint>
+
+namespace easyio::dma {
+
+// Ring slots are 1-based so that ADDR == 0 means "nothing completed in this
+// CNT era"; see Channel for the wraparound rule.
+inline constexpr uint64_t kRingSlots = 4096;
+
+struct Sn {
+  // 0 == "no DMA attached" (pure-memcpy writes); always considered complete.
+  static constexpr uint64_t kNoneSeq = 0;
+
+  uint8_t channel = 0;
+  uint64_t seq = kNoneSeq;  // cnt * (kRingSlots + 1) + slot
+
+  bool none() const { return seq == kNoneSeq; }
+
+  static Sn None() { return Sn{}; }
+
+  static Sn Make(uint8_t channel, uint64_t cnt, uint64_t slot) {
+    return Sn{channel, cnt * (kRingSlots + 1) + slot};
+  }
+
+  // Packed on-log representation: channel in the top byte.
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(channel) << 56) | (seq & ((1ull << 56) - 1));
+  }
+  static Sn Unpack(uint64_t packed) {
+    return Sn{static_cast<uint8_t>(packed >> 56), packed & ((1ull << 56) - 1)};
+  }
+
+  bool operator==(const Sn&) const = default;
+};
+
+// The persistent completion record of one channel. `addr` is the paper's
+// 64-bit completion buffer; `cnt` is the paper's extra wraparound counter
+// placed alongside it (§4.2: "we add an extra 64-bit counter alongside each
+// completion buffer").
+struct CompletionRecord {
+  uint64_t addr;  // last finished ring slot (1-based; 0 = none this era)
+  uint64_t cnt;   // ring wraparound count
+
+  uint64_t CompletedSeq() const { return cnt * (kRingSlots + 1) + addr; }
+};
+static_assert(sizeof(CompletionRecord) == 16);
+
+}  // namespace easyio::dma
+
+#endif  // EASYIO_DMA_SN_H_

@@ -1,0 +1,169 @@
+#include "src/easyio/channel_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace easyio::core {
+
+ChannelManager::ChannelManager(sim::Simulation* sim, dma::DmaEngine* engine,
+                               const Options& options)
+    : sim_(sim),
+      engine_(engine),
+      options_(options),
+      b_limit_gbps_(options.b_limit_init_gbps) {
+  assert(options.num_l_channels >= 1);
+  assert(options.num_l_channels <= engine->num_channels());
+  assert(options.b_channel >= 0 &&
+         options.b_channel < engine->num_channels());
+  assert(options.b_channel >= options.num_l_channels &&
+         "B channel must not overlap the L channels");
+}
+
+dma::Channel* ChannelManager::PickWriteChannel() {
+  dma::Channel* best = &engine_->channel(0);
+  for (int i = 1; i < options_.num_l_channels; ++i) {
+    dma::Channel& c = engine_->channel(i);
+    if (c.queue_depth() < best->queue_depth()) {
+      best = &c;
+    }
+  }
+  return best;
+}
+
+dma::Channel* ChannelManager::PickReadChannel() {
+  // Rotate the scan start so consecutive reads spread over the L channels
+  // (a channel is busy with post-descriptor housekeeping after a read even
+  // when its queue looks empty).
+  const int n = options_.num_l_channels;
+  const int start = static_cast<int>(read_rotor_++ % static_cast<uint64_t>(n));
+  for (int k = 0; k < n; ++k) {
+    dma::Channel& c = engine_->channel((start + k) % n);
+    if (c.queue_depth() < options_.read_admission_qdepth) {
+      return &c;
+    }
+  }
+  return nullptr;  // shunt to memcpy (Listing 2)
+}
+
+dma::Sn ChannelManager::SubmitBulkWrite(uint64_t pmem_off, const void* src,
+                                        size_t n) {
+  assert(n > 0);
+  std::vector<dma::Descriptor> batch;
+  const auto* p = static_cast<const std::byte*>(src);
+  size_t done = 0;
+  while (done < n) {
+    const size_t chunk = std::min<size_t>(options_.bulk_split_bytes, n - done);
+    dma::Descriptor d;
+    d.dir = dma::Descriptor::Dir::kWrite;
+    d.pmem_off = pmem_off + done;
+    d.dram = const_cast<std::byte*>(p + done);
+    d.size = static_cast<uint32_t>(chunk);
+    batch.push_back(std::move(d));
+    done += chunk;
+  }
+  auto sns = b_channel()->SubmitBatch(std::move(batch));
+  return sns.back();
+}
+
+void ChannelManager::BulkWriteAndWait(uint64_t pmem_off, const void* src,
+                                      size_t n) {
+  const dma::Sn last = SubmitBulkWrite(pmem_off, src, n);
+  b_channel()->WaitSn(last);
+}
+
+ChannelManager::LApp* ChannelManager::RegisterLApp(uint64_t target_ns) {
+  l_apps_.push_back(std::make_unique<LApp>(target_ns));
+  return l_apps_.back().get();
+}
+
+void ChannelManager::StartThrottling() {
+  if (throttling_) {
+    return;
+  }
+  throttling_ = true;
+  throttle_generation_++;
+  epoch_start_bytes_ = b_channel()->bytes_completed();
+  const uint64_t gen = throttle_generation_;
+  sim_->ScheduleAfter(options_.check_interval_ns, [this, gen] {
+    if (gen == throttle_generation_) {
+      BudgetCheck();
+    }
+  });
+  sim_->ScheduleAfter(options_.epoch_ns, [this, gen] {
+    if (gen == throttle_generation_) {
+      EpochTick();
+    }
+  });
+}
+
+void ChannelManager::StopThrottling() {
+  if (!throttling_) {
+    return;
+  }
+  throttling_ = false;
+  throttle_generation_++;
+  if (b_channel()->suspended()) {
+    b_channel()->Resume();
+  }
+}
+
+void ChannelManager::BudgetCheck() {
+  if (!throttling_) {
+    return;
+  }
+  // Budget for a whole epoch at the current limit; once the B channel has
+  // moved that much in this epoch, suspend it until the epoch ends.
+  const double budget_bytes =
+      b_limit_gbps_ * kGiB * (static_cast<double>(options_.epoch_ns) / 1e9);
+  const uint64_t used = b_channel()->bytes_completed() - epoch_start_bytes_;
+  if (static_cast<double>(used) >= budget_bytes &&
+      !b_channel()->suspended()) {
+    b_channel()->Suspend();
+  }
+  const uint64_t gen = throttle_generation_;
+  sim_->ScheduleAfter(options_.check_interval_ns, [this, gen] {
+    if (gen == throttle_generation_) {
+      BudgetCheck();
+    }
+  });
+}
+
+void ChannelManager::EpochTick() {
+  if (!throttling_) {
+    return;
+  }
+  // Listing 1: min headroom across L-apps decides the direction.
+  double min_headroom = 1e9;
+  bool any_samples = false;
+  for (auto& app : l_apps_) {
+    if (app->samples_ == 0) {
+      continue;
+    }
+    any_samples = true;
+    const double target = static_cast<double>(app->target_ns());
+    const double latency = static_cast<double>(app->TakeEpochMax());
+    min_headroom = std::min(min_headroom, (target - latency) / target);
+  }
+  if (any_samples) {
+    if (min_headroom < 0) {
+      b_limit_gbps_ -= options_.delta_gbps;  // throttle down B-apps
+    } else if (min_headroom > options_.qos_threshold) {
+      b_limit_gbps_ += options_.delta_gbps;  // throttle up B-apps
+    }
+    b_limit_gbps_ = std::clamp(b_limit_gbps_, options_.b_limit_min_gbps,
+                               options_.b_limit_max_gbps);
+  }
+  // New epoch: reset accounting and resume the B channel.
+  epoch_start_bytes_ = b_channel()->bytes_completed();
+  if (b_channel()->suspended()) {
+    b_channel()->Resume();
+  }
+  const uint64_t gen = throttle_generation_;
+  sim_->ScheduleAfter(options_.epoch_ns, [this, gen] {
+    if (gen == throttle_generation_) {
+      EpochTick();
+    }
+  });
+}
+
+}  // namespace easyio::core

@@ -1,0 +1,121 @@
+// ChannelManager (paper §4.4): mediates between DMA requests and channels to
+// meet the diverse goals of latency-critical (L-) and bandwidth-oriented
+// (B-) applications.
+//
+//  * Channel separation: L-apps steer requests to up to 4 dedicated channels
+//    (more causes write-bandwidth decline, §2.2); all B-apps share one.
+//  * Selective offloading (Listing 2): reads are admitted to a DMA channel
+//    only if some L-channel has queue depth < 2, otherwise the caller falls
+//    back to memcpy; I/O <= 4KB always uses memcpy (handled by the FS).
+//  * Bandwidth throttling: B-app bulk I/O is split into 64KB descriptors; an
+//    epoch loop accounts the B-channel's bytes and suspends it via CHANCMD
+//    once it exceeds B_APP_BW_LIMIT for the epoch, resuming at the next
+//    epoch boundary.
+//  * QoS feedback (Listing 1): every epoch, the minimum SLO headroom across
+//    registered L-apps throttles the limit down (violation) or up (ample
+//    headroom) by Delta.
+
+#ifndef EASYIO_EASYIO_CHANNEL_MANAGER_H_
+#define EASYIO_EASYIO_CHANNEL_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/dma/dma_engine.h"
+#include "src/sim/simulation.h"
+
+namespace easyio::core {
+
+class ChannelManager {
+ public:
+  struct Options {
+    int num_l_channels = 4;
+    int b_channel = 4;  // channel index reserved for B-apps
+    uint64_t epoch_ns = 20_us;
+    uint64_t check_interval_ns = 4_us;  // sub-epoch budget checks
+    double delta_gbps = 0.25;           // Listing 1's Delta
+    double qos_threshold = 0.25;        // Listing 1's threshold
+    double b_limit_init_gbps = 8.0;
+    double b_limit_min_gbps = 0.25;
+    double b_limit_max_gbps = 16.0;
+    uint64_t bulk_split_bytes = 64_KB;
+    size_t read_admission_qdepth = 2;   // Listing 2's q_deps bound
+  };
+
+  // Tracks one L-app's SLO. The app (or the FS on its behalf) reports each
+  // operation's latency; the manager consumes the per-epoch maximum.
+  class LApp {
+   public:
+    explicit LApp(uint64_t target_ns) : target_ns_(target_ns) {}
+    void ReportLatency(uint64_t ns) {
+      epoch_max_ns_ = std::max(epoch_max_ns_, ns);
+      samples_++;
+    }
+    uint64_t target_ns() const { return target_ns_; }
+
+   private:
+    friend class ChannelManager;
+    uint64_t TakeEpochMax() {
+      const uint64_t v = epoch_max_ns_;
+      epoch_max_ns_ = 0;
+      samples_ = 0;
+      return v;
+    }
+    uint64_t target_ns_;
+    uint64_t epoch_max_ns_ = 0;
+    uint64_t samples_ = 0;
+  };
+
+  ChannelManager(sim::Simulation* sim, dma::DmaEngine* engine,
+                 const Options& options);
+
+  ChannelManager(const ChannelManager&) = delete;
+  ChannelManager& operator=(const ChannelManager&) = delete;
+
+  dma::DmaEngine* engine() const { return engine_; }
+  const Options& options() const { return options_; }
+
+  // L-app channel selection: least-loaded of the L channels (writes always
+  // get one; the paper steers to up to 4 to balance reads and writes).
+  dma::Channel* PickWriteChannel();
+  // Listing 2's admission control: an L channel with q_deps < 2, or nullptr
+  // (caller falls back to memcpy).
+  dma::Channel* PickReadChannel();
+
+  // B-app bulk write: split into bulk_split_bytes descriptors on the shared
+  // B channel (so suspension never re-executes a large transfer, §4.4) and
+  // batch-submitted. Returns the last SN.
+  dma::Sn SubmitBulkWrite(uint64_t pmem_off, const void* src, size_t n);
+  // Blocking variant used by background apps (GC): parks the calling uthread
+  // until the bulk transfer completes.
+  void BulkWriteAndWait(uint64_t pmem_off, const void* src, size_t n);
+
+  dma::Channel* b_channel() { return &engine_->channel(options_.b_channel); }
+
+  // ---- QoS loop ----
+  LApp* RegisterLApp(uint64_t target_latency_ns);
+  void StartThrottling();
+  void StopThrottling();
+  bool throttling() const { return throttling_; }
+  double b_limit_gbps() const { return b_limit_gbps_; }
+
+ private:
+  void EpochTick();
+  void BudgetCheck();
+
+  sim::Simulation* sim_;
+  dma::DmaEngine* engine_;
+  Options options_;
+  std::vector<std::unique_ptr<LApp>> l_apps_;
+  bool throttling_ = false;
+  double b_limit_gbps_;
+  uint64_t epoch_start_bytes_ = 0;
+  uint64_t read_rotor_ = 0;
+  uint64_t throttle_generation_ = 0;  // invalidates in-flight timer events
+};
+
+}  // namespace easyio::core
+
+#endif  // EASYIO_EASYIO_CHANNEL_MANAGER_H_

@@ -1,0 +1,301 @@
+#include "src/easyio/easy_io_fs.h"
+
+#include <cassert>
+
+namespace easyio::core {
+
+namespace {
+
+// Maps the user buffer onto the allocated extents: one DMA descriptor (or
+// memcpy) per contiguous extent, honoring the unaligned head offset.
+struct ExtentChunk {
+  uint64_t pmem_off;
+  size_t buf_off;
+  size_t bytes;
+};
+
+std::vector<ExtentChunk> Chunkify(const std::vector<nova::Extent>& extents,
+                                  uint64_t off, size_t n) {
+  std::vector<ExtentChunk> chunks;
+  const uint64_t head = off % nova::kBlockSize;
+  size_t copied = 0;
+  for (const nova::Extent& e : extents) {
+    const uint64_t ext_bytes = e.pages * nova::kBlockSize;
+    const uint64_t skip = copied == 0 ? head : 0;
+    const size_t bytes = std::min<uint64_t>(n - copied, ext_bytes - skip);
+    chunks.push_back({e.block_off + skip, copied, bytes});
+    copied += bytes;
+    if (copied == n) {
+      break;
+    }
+  }
+  assert(copied == n);
+  return chunks;
+}
+
+}  // namespace
+
+StatusOr<size_t> EasyIoFs::WriteInternal(Inode& in, uint64_t off,
+                                         std::span<const std::byte> buf,
+                                         bool append, fs::OpStats* stats) {
+  in.lock.WriteLock();
+  if (append) {
+    off = in.size;
+  }
+  // Level-2: a write-write conflict must wait for the outstanding orderless
+  // write to actually finish (§4.3, Fig 7b).
+  const uint64_t l2_wait = WaitPendingWrite(in);
+  if (stats != nullptr) {
+    stats->blocked_ns += l2_wait;
+  }
+  MaybeCompactLog(in, stats);
+  StatusOr<size_t> r =
+      (buf.size() <= easy_.dma_min_bytes || cm_ == nullptr)
+          ? WriteMemcpy(in, off, buf, stats)
+          : (easy_.ordered_naive ? WriteNaive(in, off, buf, stats)
+                                 : WriteOrderless(in, off, buf, stats));
+  return r;
+}
+
+// Small I/O: the DMA engine is less efficient than memcpy below 4KB and the
+// transfer completes before the core even returns to userspace (§4.4), so
+// EasyIO keeps the synchronous CPU path. Enters with the write lock held.
+StatusOr<size_t> EasyIoFs::WriteMemcpy(Inode& in, uint64_t off,
+                                       std::span<const std::byte> buf,
+                                       fs::OpStats* stats) {
+  const size_t n = buf.size();
+  const uint64_t first_pg = off / nova::kBlockSize;
+  const uint64_t pages = (off + n - 1) / nova::kBlockSize - first_pg + 1;
+  Charge(stats, &fs::OpStats::index_ns,
+         params().index_base_ns + params().index_per_page_ns * pages);
+  auto extents = AllocBlocks(pages, stats);
+  if (!extents.ok()) {
+    in.lock.WriteUnlock();
+    Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
+    return extents.status();
+  }
+  FillWriteEdges(in, off, n, *extents, stats);
+  for (const ExtentChunk& c : Chunkify(*extents, off, n)) {
+    Timed(stats, &fs::OpStats::data_ns, [&] {
+      memory()->CpuWrite(c.pmem_off, buf.data() + c.buf_off, c.bytes);
+    });
+  }
+  std::vector<dma::Sn> sns(extents->size(), dma::Sn::None());
+  const Status st = CommitWrite(in, off, n, *extents, sns, stats);
+  in.lock.WriteUnlock();
+  Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
+  writes_memcpy_++;
+  if (!st.ok()) {
+    return st;
+  }
+  return n;
+}
+
+// The paper's write path (§4.2): DMA submission and metadata commit proceed
+// in parallel; the lock drops at commit; the uthread parks until the
+// completion record covers the SN.
+StatusOr<size_t> EasyIoFs::WriteOrderless(Inode& in, uint64_t off,
+                                          std::span<const std::byte> buf,
+                                          fs::OpStats* stats) {
+  const size_t n = buf.size();
+  const uint64_t first_pg = off / nova::kBlockSize;
+  const uint64_t pages = (off + n - 1) / nova::kBlockSize - first_pg + 1;
+  Charge(stats, &fs::OpStats::index_ns,
+         params().index_base_ns + params().index_per_page_ns * pages);
+  auto extents = AllocBlocks(pages, stats);
+  if (!extents.ok()) {
+    in.lock.WriteUnlock();
+    Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
+    return extents.status();
+  }
+  FillWriteEdges(in, off, n, *extents, stats);
+
+  dma::Channel* ch = cm_->PickWriteChannel();
+  std::vector<dma::Descriptor> batch;
+  for (const ExtentChunk& c : Chunkify(*extents, off, n)) {
+    dma::Descriptor d;
+    d.dir = dma::Descriptor::Dir::kWrite;
+    d.pmem_off = c.pmem_off;
+    d.dram = const_cast<std::byte*>(buf.data() + c.buf_off);
+    d.size = static_cast<uint32_t>(c.bytes);
+    batch.push_back(std::move(d));
+  }
+  std::vector<dma::Sn> sns;
+  Timed(stats, &fs::OpStats::data_ns,
+        [&] { sns = ch->SubmitBatch(std::move(batch)); });
+
+  // Metadata commits while the DMA engine is still copying: the log entries
+  // embed the SNs, so durability of the data is described indirectly.
+  const Status st = CommitWrite(in, off, n, *extents, sns, stats);
+  in.pending_channel = ch;
+  in.pending_sn = sns.back();
+  in.lock.WriteUnlock();  // level-1 released before the data lands
+  Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
+  writes_offloaded_++;
+  if (!st.ok()) {
+    return st;
+  }
+
+  // Back in the runtime: yield and resume when the I/O finishes (§4.1).
+  Charge(stats, &fs::OpStats::data_ns, params().uthread_switch_ns);
+  const sim::SimTime t0 = sim()->now();
+  ch->WaitSn(sns.back());
+  if (stats != nullptr) {
+    const uint64_t waited = sim()->now() - t0;
+    stats->blocked_ns += waited;
+    stats->data_ns += waited;
+  }
+  return n;
+}
+
+// Fig 11's "Naive": strictly ordered, two interactions with the filesystem,
+// lock held across the DMA wait.
+StatusOr<size_t> EasyIoFs::WriteNaive(Inode& in, uint64_t off,
+                                      std::span<const std::byte> buf,
+                                      fs::OpStats* stats) {
+  const size_t n = buf.size();
+  const uint64_t first_pg = off / nova::kBlockSize;
+  const uint64_t pages = (off + n - 1) / nova::kBlockSize - first_pg + 1;
+  Charge(stats, &fs::OpStats::index_ns,
+         params().index_base_ns + params().index_per_page_ns * pages);
+  auto extents = AllocBlocks(pages, stats);
+  if (!extents.ok()) {
+    in.lock.WriteUnlock();
+    Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
+    return extents.status();
+  }
+  FillWriteEdges(in, off, n, *extents, stats);
+
+  dma::Channel* ch = cm_->PickWriteChannel();
+  std::vector<dma::Descriptor> batch;
+  for (const ExtentChunk& c : Chunkify(*extents, off, n)) {
+    dma::Descriptor d;
+    d.dir = dma::Descriptor::Dir::kWrite;
+    d.pmem_off = c.pmem_off;
+    d.dram = const_cast<std::byte*>(buf.data() + c.buf_off);
+    d.size = static_cast<uint32_t>(c.bytes);
+    batch.push_back(std::move(d));
+  }
+  std::vector<dma::Sn> sns;
+  Timed(stats, &fs::OpStats::data_ns,
+        [&] { sns = ch->SubmitBatch(std::move(batch)); });
+
+  // First interaction returns (lock still held!); the uthread parks.
+  Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
+  Charge(stats, &fs::OpStats::data_ns, params().uthread_switch_ns);
+  const sim::SimTime t0 = sim()->now();
+  ch->WaitSn(sns.back());
+  if (stats != nullptr) {
+    const uint64_t waited = sim()->now() - t0;
+    stats->blocked_ns += waited;
+    stats->data_ns += waited;
+  }
+
+  // Second interaction: commit the metadata now that data is durable.
+  Charge(stats, &fs::OpStats::syscall_ns, params().syscall_enter_ns);
+  std::vector<dma::Sn> none(extents->size(), dma::Sn::None());
+  const Status st = CommitWrite(in, off, n, *extents, none, stats);
+  in.lock.WriteUnlock();
+  Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
+  writes_offloaded_++;
+  if (!st.ok()) {
+    return st;
+  }
+  return n;
+}
+
+StatusOr<size_t> EasyIoFs::ReadInternal(Inode& in, uint64_t off,
+                                        std::span<std::byte> buf,
+                                        fs::OpStats* stats) {
+  in.lock.ReadLock();
+  // Level-2: wait out a conflicting unfinished write (§4.3, Fig 7b).
+  const uint64_t l2_wait = WaitPendingWrite(in);
+  if (stats != nullptr) {
+    stats->blocked_ns += l2_wait;
+  }
+  if (off >= in.size) {
+    in.lock.ReadUnlock();
+    Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
+    return size_t{0};
+  }
+  const size_t n = std::min<uint64_t>(buf.size(), in.size - off);
+  const uint64_t first_pg = off / nova::kBlockSize;
+  const uint64_t pages = (off + n - 1) / nova::kBlockSize - first_pg + 1;
+  Charge(stats, &fs::OpStats::index_ns,
+         params().index_base_ns + params().index_per_page_ns * pages);
+  const auto segs = in.pages.Lookup(first_pg, pages);
+  const auto ranges = SegmentsToByteRanges(segs, off, n);
+  in.pending_reads++;
+
+  // Listing 2: DMA only for >4KB and an L channel below the depth bound.
+  dma::Channel* ch = nullptr;
+  if (n > easy_.dma_min_bytes && cm_ != nullptr) {
+    ch = cm_->PickReadChannel();
+  }
+
+  if (ch == nullptr) {
+    // memcpy fallback: reads never leave an SN behind, and CoW plus the
+    // pending-read count protect the blocks, so the lock drops first.
+    in.lock.ReadUnlock();
+    reads_memcpy_++;
+    for (const ByteRange& r : ranges) {
+      if (r.hole) {
+        FillZero(buf.data() + r.buf_off, r.bytes, stats);
+      } else {
+        Timed(stats, &fs::OpStats::data_ns, [&] {
+          memory()->CpuRead(buf.data() + r.buf_off, r.pmem_off, r.bytes);
+        });
+      }
+    }
+    OnReadDone(in);
+    Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
+    return n;
+  }
+
+  // DMA path: holes are zero-filled by the CPU, mapped ranges become one
+  // batch of read descriptors.
+  std::vector<dma::Descriptor> batch;
+  for (const ByteRange& r : ranges) {
+    if (r.hole) {
+      FillZero(buf.data() + r.buf_off, r.bytes, stats);
+      continue;
+    }
+    dma::Descriptor d;
+    d.dir = dma::Descriptor::Dir::kRead;
+    d.pmem_off = r.pmem_off;
+    d.dram = buf.data() + r.buf_off;
+    d.size = static_cast<uint32_t>(r.bytes);
+    batch.push_back(std::move(d));
+  }
+  reads_offloaded_++;
+  if (batch.empty()) {
+    in.lock.ReadUnlock();
+    OnReadDone(in);
+    Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
+    return n;
+  }
+  std::vector<dma::Sn> sns;
+  Timed(stats, &fs::OpStats::data_ns,
+        [&] { sns = ch->SubmitBatch(std::move(batch)); });
+  in.lock.ReadUnlock();  // reads only touch timestamps; unlock at once
+  Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
+
+  Charge(stats, &fs::OpStats::data_ns, params().uthread_switch_ns);
+  const sim::SimTime t0 = sim()->now();
+  ch->WaitSn(sns.back());
+  if (stats != nullptr) {
+    const uint64_t waited = sim()->now() - t0;
+    stats->blocked_ns += waited;
+    stats->data_ns += waited;
+  }
+  OnReadDone(in);
+  return n;
+}
+
+Status EasyIoFs::FsyncInternal(Inode& in) {
+  // Data of the (single possible) outstanding orderless write must land.
+  WaitPendingWrite(in);
+  return OkStatus();
+}
+
+}  // namespace easyio::core

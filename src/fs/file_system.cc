@@ -1,0 +1,40 @@
+#include "src/fs/file_system.h"
+
+#include <vector>
+
+namespace easyio::fs {
+
+StatusOr<std::vector<std::string>> SplitPath(const std::string& path) {
+  if (path.empty() || path[0] != '/') {
+    return InvalidArgument("path must be absolute: " + path);
+  }
+  std::vector<std::string> parts;
+  size_t i = 1;
+  while (i < path.size()) {
+    size_t j = path.find('/', i);
+    if (j == std::string::npos) {
+      j = path.size();
+    }
+    if (j == i) {
+      return InvalidArgument("empty path component: " + path);
+    }
+    parts.push_back(path.substr(i, j - i));
+    i = j + 1;
+  }
+  return parts;
+}
+
+Status SplitParent(const std::string& path,
+                   std::vector<std::string>* parent_out,
+                   std::string* leaf_out) {
+  EASYIO_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  if (parts.empty()) {
+    return InvalidArgument("path names the root: " + path);
+  }
+  *leaf_out = parts.back();
+  parts.pop_back();
+  *parent_out = std::move(parts);
+  return OkStatus();
+}
+
+}  // namespace easyio::fs

@@ -1,0 +1,93 @@
+// The POSIX-flavoured filesystem interface every evaluated system implements
+// (NOVA, NOVA-DMA, OdinFS-style delegation, EasyIO).
+//
+// Calls must be made from inside a sim::Task: they charge modeled syscall,
+// metadata and data-movement time. Read/Write are positional (pread/pwrite);
+// Append maintains the file size under the file lock (FxMark's DWAL).
+
+#ifndef EASYIO_FS_FILE_SYSTEM_H_
+#define EASYIO_FS_FILE_SYSTEM_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace easyio::fs {
+
+struct FileStat {
+  uint64_t ino = 0;
+  uint64_t size = 0;
+  uint64_t nlink = 0;
+  uint64_t mtime_ns = 0;
+  bool is_dir = false;
+};
+
+// Per-operation cost accounting, used to reproduce the paper's latency
+// breakdown (Fig 1) and the EasyIO-CPU fraction (Fig 8).
+struct OpStats {
+  uint64_t total_ns = 0;    // end-to-end operation latency
+  uint64_t cpu_ns = 0;      // time the CPU was actually busy on this op
+  uint64_t blocked_ns = 0;  // time parked on async completions (EasyIO)
+  uint64_t syscall_ns = 0;  // syscall & VFS share
+  uint64_t index_ns = 0;    // file indexing share
+  uint64_t meta_ns = 0;     // metadata update share (incl. allocation)
+  uint64_t data_ns = 0;     // data movement share (memcpy or DMA wait)
+
+  void Clear() { *this = OpStats{}; }
+};
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Namespace operations.
+  virtual StatusOr<int> Create(const std::string& path) = 0;
+  virtual StatusOr<int> Open(const std::string& path) = 0;
+  virtual Status Close(int fd) = 0;
+  virtual Status Mkdir(const std::string& path) = 0;
+  virtual Status Unlink(const std::string& path) = 0;
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  virtual Status Link(const std::string& existing,
+                      const std::string& link_path) = 0;
+  virtual StatusOr<FileStat> StatPath(const std::string& path) = 0;
+  virtual StatusOr<FileStat> StatFd(int fd) = 0;
+
+  // Data operations. `stats`, when non-null, receives the cost breakdown.
+  virtual StatusOr<size_t> Read(int fd, uint64_t off, std::span<std::byte> buf,
+                                OpStats* stats) = 0;
+  virtual StatusOr<size_t> Write(int fd, uint64_t off,
+                                 std::span<const std::byte> buf,
+                                 OpStats* stats) = 0;
+  virtual StatusOr<size_t> Append(int fd, std::span<const std::byte> buf,
+                                  OpStats* stats) = 0;
+  virtual Status Fsync(int fd) = 0;
+
+  // Convenience overloads.
+  StatusOr<size_t> Read(int fd, uint64_t off, std::span<std::byte> buf) {
+    return Read(fd, off, buf, nullptr);
+  }
+  StatusOr<size_t> Write(int fd, uint64_t off,
+                         std::span<const std::byte> buf) {
+    return Write(fd, off, buf, nullptr);
+  }
+  StatusOr<size_t> Append(int fd, std::span<const std::byte> buf) {
+    return Append(fd, buf, nullptr);
+  }
+};
+
+// Splits "/a/b/c" into {"a","b","c"}; rejects empty components.
+StatusOr<std::vector<std::string>> SplitPath(const std::string& path);
+// Splits into (parent_components, leaf_name).
+Status SplitParent(const std::string& path,
+                   std::vector<std::string>* parent_out,
+                   std::string* leaf_out);
+
+}  // namespace easyio::fs
+
+#endif  // EASYIO_FS_FILE_SYSTEM_H_

@@ -1,0 +1,170 @@
+// Testbed: one-stop construction of the paper's evaluation machine — the
+// simulated 36-core / 2-socket box with 6 Optane DCPMMs (§6.1) — with any of
+// the four evaluated filesystems mounted on it.
+//
+// Core map (default): worker cores are [0, worker_cores); OdinFS's reserved
+// delegation cores sit at the top of the machine, mirroring the paper's
+// 12-cores-per-node reservation.
+
+#ifndef EASYIO_HARNESS_TESTBED_H_
+#define EASYIO_HARNESS_TESTBED_H_
+
+#include <memory>
+#include <string>
+
+#include "src/baselines/delegation.h"
+#include "src/baselines/nova_dma_fs.h"
+#include "src/baselines/odin_fs.h"
+#include "src/common/units.h"
+#include "src/dma/dma_engine.h"
+#include "src/easyio/channel_manager.h"
+#include "src/easyio/easy_io_fs.h"
+#include "src/nova/nova_fs.h"
+#include "src/pmem/slow_memory.h"
+#include "src/sim/simulation.h"
+#include "src/uthread/scheduler.h"
+
+namespace easyio::harness {
+
+enum class FsKind { kNova, kNovaDma, kOdin, kEasy, kEasyNaive };
+
+inline const char* FsKindName(FsKind kind) {
+  switch (kind) {
+    case FsKind::kNova: return "NOVA";
+    case FsKind::kNovaDma: return "NOVA-DMA";
+    case FsKind::kOdin: return "ODINFS";
+    case FsKind::kEasy: return "EasyIO";
+    case FsKind::kEasyNaive: return "Naive";
+  }
+  return "?";
+}
+
+struct TestbedConfig {
+  FsKind fs = FsKind::kEasy;
+  int machine_cores = 36;
+  size_t device_bytes = 1_GB;
+  pmem::MediaParams media = pmem::MediaParams::TwoNode();
+  nova::NovaFs::Options fs_options;
+  core::ChannelManager::Options cm_options;
+  core::EasyIoFs::EasyOptions easy_options;  // kEasy/kEasyNaive only
+  // OdinFS reservation: 12 delegation threads per node in the paper.
+  int odin_reserved_cores = 24;
+  baselines::DelegationPool::Options odin_options;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(const TestbedConfig& config)
+      : config_(config),
+        sim_(sim::Simulation::Options{.num_cores = config.machine_cores}),
+        mem_(&sim_, config.media, config.device_bytes) {
+    fs::FileSystem* fsi = nullptr;
+    switch (config.fs) {
+      case FsKind::kNova: {
+        auto fs = std::make_unique<nova::NovaFs>(&mem_, config.fs_options);
+        EASYIO_CHECK_OK(fs->Format());
+        nova_view_ = fs.get();
+        fsi = fs.get();
+        nova_ = std::move(fs);
+        break;
+      }
+      case FsKind::kNovaDma: {
+        auto fs = std::make_unique<baselines::NovaDmaFs>(&mem_,
+                                                         config.fs_options);
+        EASYIO_CHECK_OK(fs->Format());
+        MakeEngine(fs->layout().comp_region_off);
+        fs->AttachEngine(engine_.get());
+        nova_view_ = fs.get();
+        fsi = fs.get();
+        nova_ = std::move(fs);
+        break;
+      }
+      case FsKind::kOdin: {
+        baselines::DelegationPool::Options opts = config.odin_options;
+        opts.first_core = config.machine_cores - config.odin_reserved_cores;
+        opts.num_threads = config.odin_reserved_cores;
+        pool_ = std::make_unique<baselines::DelegationPool>(&sim_, &mem_,
+                                                            opts);
+        pool_->Start();
+        auto fs = std::make_unique<baselines::OdinFs>(&mem_,
+                                                      config.fs_options,
+                                                      pool_.get());
+        EASYIO_CHECK_OK(fs->Format());
+        nova_view_ = fs.get();
+        fsi = fs.get();
+        nova_ = std::move(fs);
+        break;
+      }
+      case FsKind::kEasy:
+      case FsKind::kEasyNaive: {
+        core::EasyIoFs::EasyOptions eo = config.easy_options;
+        eo.ordered_naive = config.fs == FsKind::kEasyNaive;
+        auto fs = std::make_unique<core::EasyIoFs>(&mem_, config.fs_options,
+                                                   eo);
+        EASYIO_CHECK_OK(fs->Format());
+        MakeEngine(fs->layout().comp_region_off);
+        cm_ = std::make_unique<core::ChannelManager>(&sim_, engine_.get(),
+                                                     config.cm_options);
+        fs->AttachChannelManager(cm_.get());
+        nova_view_ = fs.get();
+        easy_view_ = fs.get();
+        fsi = fs.get();
+        nova_ = std::move(fs);
+        break;
+      }
+    }
+    fs_ = fsi;
+  }
+
+  // Creates a Caladan-style runtime over the first `cores` worker cores.
+  uthread::Scheduler* MakeScheduler(int cores, bool work_stealing = true) {
+    uthread::Scheduler::Options opts;
+    opts.first_core = 0;
+    opts.num_cores = cores;
+    opts.work_stealing = work_stealing;
+    opts.switch_cost_ns = config_.media.uthread_switch_ns;
+    scheduler_ = std::make_unique<uthread::Scheduler>(&sim_, opts);
+    return scheduler_.get();
+  }
+
+  const TestbedConfig& config() const { return config_; }
+  sim::Simulation& sim() { return sim_; }
+  pmem::SlowMemory& mem() { return mem_; }
+  fs::FileSystem& fs() { return *fs_; }
+  nova::NovaFs& nova() { return *nova_view_; }
+  core::EasyIoFs* easy() { return easy_view_; }  // null unless kEasy*
+  dma::DmaEngine* engine() { return engine_.get(); }
+  core::ChannelManager* channel_manager() { return cm_.get(); }
+  baselines::DelegationPool* delegation() { return pool_.get(); }
+  uthread::Scheduler* scheduler() { return scheduler_.get(); }
+
+  // Usable worker cores for this filesystem on this machine.
+  int max_worker_cores() const {
+    return config_.fs == FsKind::kOdin
+               ? config_.machine_cores - config_.odin_reserved_cores
+               : config_.machine_cores;
+  }
+
+ private:
+  void MakeEngine(uint64_t comp_region_off) {
+    engine_ = std::make_unique<dma::DmaEngine>(
+        &mem_, comp_region_off,
+        static_cast<int>(config_.fs_options.comp_channels));
+  }
+
+  TestbedConfig config_;
+  sim::Simulation sim_;
+  pmem::SlowMemory mem_;
+  std::unique_ptr<dma::DmaEngine> engine_;
+  std::unique_ptr<core::ChannelManager> cm_;
+  std::unique_ptr<baselines::DelegationPool> pool_;
+  std::unique_ptr<nova::NovaFs> nova_;
+  nova::NovaFs* nova_view_ = nullptr;
+  core::EasyIoFs* easy_view_ = nullptr;
+  fs::FileSystem* fs_ = nullptr;
+  std::unique_ptr<uthread::Scheduler> scheduler_;
+};
+
+}  // namespace easyio::harness
+
+#endif  // EASYIO_HARNESS_TESTBED_H_

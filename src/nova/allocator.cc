@@ -1,0 +1,198 @@
+#include "src/nova/allocator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/nova/layout.h"
+
+namespace easyio::nova {
+
+BlockAllocator::BlockAllocator(uint64_t area_off, uint64_t num_blocks,
+                               int shards)
+    : area_off_(area_off), total_pages_(num_blocks) {
+  assert(shards >= 1);
+  shards_.resize(static_cast<size_t>(shards));
+  const uint64_t pages_per_shard =
+      std::max<uint64_t>(1, (num_blocks + shards - 1) / shards);
+  shard_span_ = pages_per_shard * kBlockSize;
+  // Seed each shard with its stripe of the block area.
+  uint64_t off = area_off;
+  uint64_t remaining = num_blocks;
+  for (auto& shard : shards_) {
+    if (remaining == 0) {
+      break;
+    }
+    const uint64_t pages = std::min(remaining, pages_per_shard);
+    shard.emplace(off, pages);
+    off += pages * kBlockSize;
+    remaining -= pages;
+  }
+  free_pages_ = num_blocks;
+}
+
+int BlockAllocator::ShardOf(uint64_t block_off) const {
+  const uint64_t idx = (block_off - area_off_) / shard_span_;
+  return static_cast<int>(
+      std::min<uint64_t>(idx, shards_.size() - 1));
+}
+
+StatusOr<Extent> BlockAllocator::Alloc(uint64_t pages, int shard_hint) {
+  assert(pages >= 1);
+  assert(!in_recovery_);
+  const int n = static_cast<int>(shards_.size());
+  int start = ((shard_hint % n) + n) % n;
+  // First pass: an extent large enough anywhere, preferring the hint shard.
+  for (int probe = 0; probe < n; ++probe) {
+    auto& shard = shards_[static_cast<size_t>((start + probe) % n)];
+    for (auto it = shard.begin(); it != shard.end(); ++it) {
+      if (it->second >= pages) {
+        Extent e{it->first, pages};
+        const uint64_t rest = it->second - pages;
+        const uint64_t rest_off = it->first + pages * kBlockSize;
+        shard.erase(it);
+        if (rest > 0) {
+          shard.emplace(rest_off, rest);
+        }
+        free_pages_ -= pages;
+        return e;
+      }
+    }
+  }
+  // Second pass: take the largest available extent (fragmented device).
+  std::map<uint64_t, uint64_t>* best_shard = nullptr;
+  std::map<uint64_t, uint64_t>::iterator best;
+  uint64_t best_pages = 0;
+  for (auto& shard : shards_) {
+    for (auto it = shard.begin(); it != shard.end(); ++it) {
+      if (it->second > best_pages) {
+        best_pages = it->second;
+        best = it;
+        best_shard = &shard;
+      }
+    }
+  }
+  if (best_shard == nullptr) {
+    return NoSpace("block allocator exhausted");
+  }
+  Extent e{best->first, best_pages};
+  best_shard->erase(best);
+  free_pages_ -= best_pages;
+  return e;
+}
+
+StatusOr<std::vector<Extent>> BlockAllocator::AllocMulti(uint64_t pages,
+                                                         int shard_hint) {
+  std::vector<Extent> extents;
+  uint64_t remaining = pages;
+  while (remaining > 0) {
+    auto e = Alloc(remaining, shard_hint);
+    if (!e.ok()) {
+      for (const Extent& got : extents) {
+        Free(got);
+      }
+      return e.status();
+    }
+    remaining -= e->pages;
+    extents.push_back(*e);
+  }
+  return extents;
+}
+
+void BlockAllocator::FreeIntoShard(std::map<uint64_t, uint64_t>& shard,
+                                   uint64_t off, uint64_t pages) {
+  auto next = shard.lower_bound(off);
+  // Coalesce with predecessor.
+  if (next != shard.begin()) {
+    auto prev = std::prev(next);
+    assert(prev->first + prev->second * kBlockSize <= off && "double free");
+    if (prev->first + prev->second * kBlockSize == off) {
+      off = prev->first;
+      pages += prev->second;
+      shard.erase(prev);
+    }
+  }
+  // Coalesce with successor.
+  if (next != shard.end()) {
+    assert(off + pages * kBlockSize <= next->first && "double free");
+    if (off + pages * kBlockSize == next->first) {
+      pages += next->second;
+      shard.erase(next);
+    }
+  }
+  shard.emplace(off, pages);
+}
+
+void BlockAllocator::Free(const Extent& e) {
+  assert(!in_recovery_);
+  assert(e.pages > 0);
+  // An extent allocated near a shard boundary may span two stripes; keep the
+  // free map consistent by splitting on the home shard only (extents are
+  // always freed exactly as allocated or as split by the page map, so
+  // shard-of-first-block is stable enough for bookkeeping).
+  FreeIntoShard(shards_[static_cast<size_t>(ShardOf(e.block_off))],
+                e.block_off, e.pages);
+  free_pages_ += e.pages;
+}
+
+void BlockAllocator::BeginRecovery() {
+  in_recovery_ = true;
+  for (auto& shard : shards_) {
+    shard.clear();
+  }
+  free_pages_ = 0;
+  used_bitmap_.assign(total_pages_, false);
+}
+
+void BlockAllocator::MarkUsed(uint64_t block_off, uint64_t pages) {
+  assert(in_recovery_);
+  const uint64_t first = (block_off - area_off_) / kBlockSize;
+  for (uint64_t i = 0; i < pages; ++i) {
+    assert(first + i < total_pages_);
+    assert(!used_bitmap_[first + i] && "block referenced twice");
+    used_bitmap_[first + i] = true;
+  }
+}
+
+void BlockAllocator::FinishRecovery() {
+  assert(in_recovery_);
+  // Sweep free runs back into their shards.
+  uint64_t run_start = 0;
+  uint64_t run_len = 0;
+  auto flush = [&] {
+    if (run_len == 0) {
+      return;
+    }
+    uint64_t off = area_off_ + run_start * kBlockSize;
+    uint64_t pages = run_len;
+    // Split runs on shard boundaries so stripes stay balanced.
+    while (pages > 0) {
+      const int shard = ShardOf(off);
+      const uint64_t shard_end =
+          area_off_ + (static_cast<uint64_t>(shard) + 1) * shard_span_;
+      const uint64_t fit =
+          std::min(pages, (shard_end - off) / kBlockSize);
+      FreeIntoShard(shards_[static_cast<size_t>(shard)], off,
+                    fit == 0 ? pages : fit);
+      const uint64_t took = fit == 0 ? pages : fit;
+      off += took * kBlockSize;
+      pages -= took;
+    }
+    free_pages_ += run_len;
+    run_len = 0;
+  };
+  for (uint64_t i = 0; i < total_pages_; ++i) {
+    if (used_bitmap_[i]) {
+      flush();
+    } else {
+      if (run_len == 0) {
+        run_start = i;
+      }
+      run_len++;
+    }
+  }
+  flush();
+  used_bitmap_.clear();
+  in_recovery_ = false;
+}
+
+}  // namespace easyio::nova

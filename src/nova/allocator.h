@@ -1,0 +1,67 @@
+// Sharded extent allocator for the 4KB block area.
+//
+// NOVA keeps per-CPU free lists to scale allocation; we shard the block area
+// the same way. Each shard is an ordered free map with coalescing on free;
+// allocation prefers the caller's shard and falls back to the others, so a
+// single hot shard cannot fail while space remains elsewhere.
+
+#ifndef EASYIO_NOVA_ALLOCATOR_H_
+#define EASYIO_NOVA_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace easyio::nova {
+
+struct Extent {
+  uint64_t block_off = 0;  // pmem byte offset of the first block
+  uint64_t pages = 0;
+
+  bool operator==(const Extent&) const = default;
+};
+
+class BlockAllocator {
+ public:
+  BlockAllocator(uint64_t area_off, uint64_t num_blocks, int shards);
+
+  // Allocates a contiguous extent of at most `pages` pages (at least 1).
+  // Smaller-than-requested extents are returned when fragmentation demands
+  // it; callers loop (and emit one log entry / DMA descriptor per extent,
+  // exactly as NOVA issues one memcpy per contiguous range).
+  StatusOr<Extent> Alloc(uint64_t pages, int shard_hint);
+
+  // Allocates extents covering exactly `pages` pages.
+  StatusOr<std::vector<Extent>> AllocMulti(uint64_t pages, int shard_hint);
+
+  void Free(const Extent& e);
+
+  // Recovery interface: empty the allocator, mark referenced ranges used,
+  // then release everything unmarked in one pass.
+  void BeginRecovery();                      // all blocks provisionally free
+  void MarkUsed(uint64_t block_off, uint64_t pages);
+  void FinishRecovery();
+
+  uint64_t free_pages() const { return free_pages_; }
+  uint64_t total_pages() const { return total_pages_; }
+  uint64_t area_off() const { return area_off_; }
+
+ private:
+  int ShardOf(uint64_t block_off) const;
+  void FreeIntoShard(std::map<uint64_t, uint64_t>& shard, uint64_t off,
+                     uint64_t pages);
+
+  uint64_t area_off_;
+  uint64_t total_pages_;
+  uint64_t free_pages_ = 0;
+  uint64_t shard_span_;  // bytes of block area per shard
+  std::vector<std::map<uint64_t, uint64_t>> shards_;  // off -> pages
+  std::vector<bool> used_bitmap_;  // recovery only
+  bool in_recovery_ = false;
+};
+
+}  // namespace easyio::nova
+
+#endif  // EASYIO_NOVA_ALLOCATOR_H_

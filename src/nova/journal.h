@@ -1,0 +1,47 @@
+// Lightweight per-core redo journal for multi-inode atomicity (NOVA §3.5
+// style): create/unlink/link/rename must update a directory log tail and one
+// or two inode fields together. The record is persisted, committed with a
+// state flag, applied, then cleared; mount-time recovery replays committed
+// records, making the group of 8-byte writes atomic across crashes.
+
+#ifndef EASYIO_NOVA_JOURNAL_H_
+#define EASYIO_NOVA_JOURNAL_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/nova/layout.h"
+#include "src/pmem/slow_memory.h"
+
+namespace easyio::nova {
+
+class Journal {
+ public:
+  Journal(pmem::SlowMemory* mem, uint64_t region_off, uint64_t slots)
+      : mem_(mem), region_off_(region_off), slots_(slots) {}
+
+  // Atomically applies up to JournalRecord::kMaxWrites 8-byte pmem writes.
+  // `slot_hint` selects the per-core journal slot (any value accepted).
+  void CommitAndApply(std::span<const JournalRecord::JWrite> writes,
+                      int slot_hint);
+
+  // Replays committed-but-uncleared records found in a mounted image.
+  // Returns the number of records replayed.
+  static int Recover(pmem::SlowMemory* mem, uint64_t region_off,
+                     uint64_t slots);
+
+ private:
+  uint64_t SlotOff(int slot_hint) const {
+    const uint64_t idx =
+        static_cast<uint64_t>(slot_hint) % slots_;
+    return region_off_ + idx * kBlockSize;
+  }
+
+  pmem::SlowMemory* mem_;
+  uint64_t region_off_;
+  uint64_t slots_;
+};
+
+}  // namespace easyio::nova
+
+#endif  // EASYIO_NOVA_JOURNAL_H_

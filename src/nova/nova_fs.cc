@@ -1,0 +1,1158 @@
+#include "src/nova/nova_fs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+
+#include "src/common/units.h"
+#include "src/dma/channel.h"
+
+namespace easyio::nova {
+
+namespace {
+
+constexpr int kFirstFd = 3;
+
+}  // namespace
+
+NovaFs::NovaFs(pmem::SlowMemory* mem, const Options& options)
+    : mem_(mem),
+      sim_(mem->simulation()),
+      options_(options),
+      namespace_lock_(mem->simulation()) {
+  layout_ = Layout::Compute(mem->size(), options.inode_count,
+                            options.journal_slots, options.comp_channels);
+  allocator_ = std::make_unique<BlockAllocator>(
+      layout_.block_area_off, layout_.block_count, options.alloc_shards);
+  journal_ = std::make_unique<Journal>(mem, layout_.journal_off,
+                                       layout_.journal_slots);
+}
+
+NovaFs::~NovaFs() = default;
+
+// ---------------------------------------------------------------- format ----
+
+Status NovaFs::Format() {
+  if (layout_.block_count < 16) {
+    return InvalidArgument("device too small");
+  }
+  // Zero the metadata regions (fresh media may carry stale state).
+  std::memset(mem_->raw() + layout_.comp_region_off, 0,
+              layout_.inode_table_off + layout_.inode_count * kPInodeSize -
+                  layout_.comp_region_off);
+
+  Superblock sb{};
+  sb.magic = kMagic;
+  sb.device_size = mem_->size();
+  sb.comp_region_off = layout_.comp_region_off;
+  sb.comp_channels = layout_.comp_channels;
+  sb.journal_off = layout_.journal_off;
+  sb.journal_slots = layout_.journal_slots;
+  sb.inode_table_off = layout_.inode_table_off;
+  sb.inode_count = layout_.inode_count;
+  sb.block_area_off = layout_.block_area_off;
+  sb.block_count = layout_.block_count;
+  sb.csum = sb.ComputeCsum();
+  mem_->MetaWrite(0, &sb, sizeof(sb));
+
+  // Root directory at slot 0.
+  PInode root{};
+  root.ino = kRootIno;
+  root.flags = PInode::kFlagValid | PInode::kFlagDir;
+  root.nlink = 1;
+  root.mtime_ns = sim_->now();
+  mem_->MetaWrite(PInodeOff(0), &root, sizeof(root));
+
+  auto in = std::make_unique<Inode>(sim_, kRootIno, 0);
+  in->is_dir = true;
+  in->mtime_ns = root.mtime_ns;
+  inodes_.emplace(kRootIno, std::move(in));
+
+  free_slots_.clear();
+  for (uint64_t slot = layout_.inode_count; slot-- > 1;) {
+    free_slots_.push_back(slot);
+  }
+  return OkStatus();
+}
+
+// ----------------------------------------------------------------- mount ----
+
+uint64_t NovaFs::CompletedSeqOf(uint8_t channel) const {
+  return mem_
+      ->As<dma::CompletionRecord>(layout_.comp_region_off +
+                                  channel * sizeof(dma::CompletionRecord))
+      ->CompletedSeq();
+}
+
+Status NovaFs::Mount() {
+  const auto* sb = mem_->As<Superblock>(0);
+  if (sb->magic != kMagic) {
+    return Corruption("bad superblock magic");
+  }
+  if (sb->csum != sb->ComputeCsum()) {
+    return Corruption("superblock checksum mismatch");
+  }
+  if (sb->device_size != mem_->size() ||
+      sb->inode_count != layout_.inode_count ||
+      sb->journal_slots != layout_.journal_slots ||
+      sb->comp_channels != layout_.comp_channels) {
+    return Corruption("superblock layout mismatch");
+  }
+
+  recovery_replayed_journals_ = static_cast<uint64_t>(Journal::Recover(
+      mem_, layout_.journal_off, layout_.journal_slots));
+  recovery_discarded_entries_ = 0;
+
+  inodes_.clear();
+  free_slots_.clear();
+  fd_table_.clear();
+  free_fds_.clear();
+  allocator_->BeginRecovery();
+
+  for (uint64_t slot = 0; slot < layout_.inode_count; ++slot) {
+    const auto* pi = mem_->As<PInode>(PInodeOff(slot));
+    if (!pi->valid() || pi->nlink == 0) {
+      if (slot != 0) {
+        free_slots_.push_back(slot);
+      }
+      continue;
+    }
+    EASYIO_RETURN_IF_ERROR(RecoverInode(slot));
+  }
+  std::reverse(free_slots_.begin(), free_slots_.end());
+
+  if (!inodes_.contains(kRootIno)) {
+    allocator_->FinishRecovery();
+    return Corruption("root inode missing");
+  }
+  allocator_->FinishRecovery();
+
+  // Verify directory references.
+  for (auto& [ino, in] : inodes_) {
+    if (!in->is_dir) {
+      continue;
+    }
+    for (auto& [name, child] : in->dentries) {
+      if (!inodes_.contains(child)) {
+        return Corruption("dangling dentry " + name);
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Status NovaFs::RecoverInode(uint64_t slot) {
+  const auto* pi = mem_->As<PInode>(PInodeOff(slot));
+  auto in = std::make_unique<Inode>(sim_, pi->ino, slot);
+  in->is_dir = pi->is_dir();
+  in->nlink = pi->nlink;
+  in->mtime_ns = pi->mtime_ns;
+  in->log_head = pi->log_head;
+  in->log_tail = pi->log_tail;
+
+  if (in->log_tail == 0 && in->log_head != 0) {
+    // Crash between first-page allocation and the first commit: reset.
+    const uint64_t zero = 0;
+    mem_->MetaWrite(PInodeOff(slot) + offsetof(PInode, log_head), &zero,
+                    sizeof(zero));
+    in->log_head = 0;
+  }
+  in->log_next = in->log_tail;
+
+  uint64_t page = in->log_head;
+  bool done = in->log_tail == 0;
+  while (!done && page != 0) {
+    allocator_->MarkUsed(page, 1);
+    in->log_pages++;
+    for (uint64_t s = 1; s <= kEntriesPerLogPage && !done; ++s) {
+      const uint64_t off = page + s * kLogEntrySize;
+      if (off == in->log_tail) {
+        done = true;
+        break;
+      }
+      const auto type = static_cast<EntryType>(*mem_->As<uint8_t>(off));
+      switch (type) {
+        case EntryType::kWrite: {
+          const auto* e = mem_->As<WriteEntry>(off);
+          if (e->csum != e->ComputeCsum()) {
+            return Corruption("write entry checksum");
+          }
+          const dma::Sn sn = dma::Sn::Unpack(e->sn_packed);
+          const bool complete =
+              sn.none() || CompletedSeqOf(sn.channel) >= sn.seq;
+          if (!complete) {
+            // Committed metadata whose DMA never finished: discard (§4.2).
+            recovery_discarded_entries_++;
+            break;
+          }
+          std::vector<Extent> displaced =
+              in->pages.Insert(e->pgoff, e->num_pages, e->block_off, 0);
+          // Displaced blocks become free simply by not being marked used.
+          (void)displaced;
+          in->size = std::max(in->size, e->new_size);
+          in->mtime_ns = std::max(in->mtime_ns, e->mtime_ns);
+          break;
+        }
+        case EntryType::kDentryAdd: {
+          const auto* e = mem_->As<DentryEntry>(off);
+          if (e->csum != e->ComputeCsum()) {
+            return Corruption("dentry entry checksum");
+          }
+          in->dentries[std::string(e->name,
+                                   std::min<size_t>(e->name_len,
+                                                    kMaxNameLen))] =
+              e->child_ino;
+          in->mtime_ns = std::max(in->mtime_ns, e->mtime_ns);
+          break;
+        }
+        case EntryType::kDentryRemove: {
+          const auto* e = mem_->As<DentryEntry>(off);
+          if (e->csum != e->ComputeCsum()) {
+            return Corruption("dentry entry checksum");
+          }
+          in->dentries.erase(std::string(
+              e->name, std::min<size_t>(e->name_len, kMaxNameLen)));
+          in->mtime_ns = std::max(in->mtime_ns, e->mtime_ns);
+          break;
+        }
+        case EntryType::kInvalid:
+        default:
+          return Corruption("invalid log entry type");
+      }
+    }
+    if (!done) {
+      if (page + kBlockSize == in->log_tail) {
+        done = true;
+        break;
+      }
+      const uint64_t next = mem_->As<LogPageHeader>(page)->next_page;
+      if (next == 0) {
+        return Corruption("log chain ends before tail");
+      }
+      page = next;
+    }
+  }
+
+  // Mark live data blocks.
+  for (const auto& seg : in->pages.Lookup(0, UINT64_MAX / kBlockSize)) {
+    if (!seg.hole) {
+      allocator_->MarkUsed(seg.block_off, seg.pages);
+    }
+  }
+  inodes_.emplace(in->ino, std::move(in));
+  return OkStatus();
+}
+
+// ------------------------------------------------------------- accounting ---
+
+void NovaFs::Charge(fs::OpStats* stats, uint64_t fs::OpStats::*cat,
+                    uint64_t ns) {
+  if (ns == 0) {
+    return;
+  }
+  sim_->Advance(ns);
+  if (stats != nullptr) {
+    stats->*cat += ns;
+  }
+}
+
+// ------------------------------------------------------------ log append ----
+
+Status NovaFs::AppendLogEntry(Inode& in, const void* entry,
+                              fs::OpStats* stats) {
+  // Chain a new log page if needed.
+  const bool page_full =
+      in.log_next != 0 && in.log_next % kBlockSize == 0;
+  if (in.log_next == 0 || page_full) {
+    auto page = allocator_->Alloc(1, sim_->current() != nullptr
+                                         ? sim_->current()->core()
+                                         : 0);
+    if (!page.ok()) {
+      return page.status();
+    }
+    Charge(stats, &fs::OpStats::meta_ns, params().alloc_per_page_ns);
+    LogPageHeader hdr{};
+    Timed(stats, &fs::OpStats::meta_ns, [&] {
+      mem_->MetaWrite(page->block_off, &hdr, sizeof(hdr));
+    });
+    in.log_pages++;
+    if (in.log_next == 0) {
+      // First page: publish via log_head (atomic 8-byte store; harmless if a
+      // crash strikes before the first commit — Mount resets it).
+      Timed(stats, &fs::OpStats::meta_ns, [&] {
+        mem_->MetaWrite(PInodeOff(in.slot) + offsetof(PInode, log_head),
+                        &page->block_off, sizeof(uint64_t));
+      });
+      in.log_head = page->block_off;
+    } else {
+      const uint64_t prev_page = in.log_next - kBlockSize;
+      Timed(stats, &fs::OpStats::meta_ns, [&] {
+        mem_->MetaWrite(prev_page + offsetof(LogPageHeader, next_page),
+                        &page->block_off, sizeof(uint64_t));
+      });
+    }
+    in.log_next = page->block_off + sizeof(LogPageHeader);
+  }
+
+  Timed(stats, &fs::OpStats::meta_ns, [&] {
+    mem_->MetaWrite(in.log_next, entry, kLogEntrySize);
+  });
+  in.log_next += kLogEntrySize;
+  return OkStatus();
+}
+
+void NovaFs::CommitLogTail(Inode& in, fs::OpStats* stats) {
+  Timed(stats, &fs::OpStats::meta_ns, [&] {
+    mem_->MetaWrite(PInodeOff(in.slot) + offsetof(PInode, log_tail),
+                    &in.log_next, sizeof(uint64_t));
+  });
+  in.log_tail = in.log_next;
+}
+
+// ----------------------------------------------------------- write helpers --
+
+StatusOr<std::vector<Extent>> NovaFs::AllocBlocks(uint64_t pages,
+                                                  fs::OpStats* stats) {
+  const int hint = sim_->current() != nullptr ? sim_->current()->core() : 0;
+  auto extents = allocator_->AllocMulti(pages, hint);
+  if (extents.ok()) {
+    // Per-write fixed bookkeeping (inode update, VFS write path) plus the
+    // per-page allocator cost.
+    Charge(stats, &fs::OpStats::meta_ns,
+           params().meta_write_fixed_ns + params().alloc_per_page_ns * pages);
+  }
+  return extents;
+}
+
+void NovaFs::FillWriteEdges(Inode& in, uint64_t off, size_t n,
+                            const std::vector<Extent>& extents,
+                            fs::OpStats* stats) {
+  const uint64_t first_pg = off / kBlockSize;
+  const uint64_t head_bytes = off % kBlockSize;
+  const uint64_t end = off + n;
+  const uint64_t last_pg = (end - 1) / kBlockSize;
+  const uint64_t tail_keep =
+      end % kBlockSize == 0 ? 0
+                            : std::min<uint64_t>(kBlockSize - end % kBlockSize,
+                                                 in.size > end ? in.size - end
+                                                               : 0);
+
+  auto block_of = [&](uint64_t pg) -> uint64_t {
+    // Locate pg within the new extents (which cover [first_pg, last_pg]).
+    uint64_t idx = pg - first_pg;
+    for (const Extent& e : extents) {
+      if (idx < e.pages) {
+        return e.block_off + idx * kBlockSize;
+      }
+      idx -= e.pages;
+    }
+    assert(false && "page outside write extents");
+    return 0;
+  };
+
+  auto copy_old = [&](uint64_t pg, uint64_t in_page_off, uint64_t bytes) {
+    if (bytes == 0) {
+      return;
+    }
+    const auto segs = in.pages.Lookup(pg, 1);
+    const uint64_t dst = block_of(pg) + in_page_off;
+    if (segs.size() == 1 && !segs[0].hole) {
+      // pmem-to-pmem preserve copy; charged as CPU data movement.
+      std::memcpy(mem_->raw() + dst,
+                  mem_->raw() + segs[0].block_off + in_page_off, bytes);
+      Charge(stats, &fs::OpStats::data_ns,
+             TransferNs(bytes, params().cpu_read_cap.at_4k));
+    } else {
+      std::memset(mem_->raw() + dst, 0, bytes);
+    }
+  };
+
+  if (head_bytes > 0) {
+    copy_old(first_pg, 0, head_bytes);
+  }
+  if (tail_keep > 0) {
+    copy_old(last_pg, end % kBlockSize, tail_keep);
+  }
+  // Zero the unwritten remainder of the last block (beyond both the write
+  // and any preserved old data), preserving the invariant that mapped bytes
+  // past the file size read as zero after a later size extension.
+  if (end % kBlockSize != 0) {
+    const uint64_t zero_from = end % kBlockSize + tail_keep;
+    if (zero_from < kBlockSize) {
+      std::memset(mem_->raw() + block_of(last_pg) + zero_from, 0,
+                  kBlockSize - zero_from);
+    }
+  }
+}
+
+Status NovaFs::CommitWrite(Inode& in, uint64_t off, size_t n,
+                           const std::vector<Extent>& extents,
+                           const std::vector<dma::Sn>& sns,
+                           fs::OpStats* stats) {
+  assert(extents.size() == sns.size());
+  const uint64_t new_size = std::max<uint64_t>(in.size, off + n);
+  const uint64_t mtime = sim_->now();
+  uint64_t pg = off / kBlockSize;
+  for (size_t i = 0; i < extents.size(); ++i) {
+    WriteEntry e{};
+    e.type = static_cast<uint8_t>(EntryType::kWrite);
+    e.pgoff = pg;
+    e.num_pages = extents[i].pages;
+    e.block_off = extents[i].block_off;
+    e.new_size = new_size;
+    e.mtime_ns = mtime;
+    e.sn_packed = sns[i].Pack();
+    e.csum = e.ComputeCsum();
+    EASYIO_RETURN_IF_ERROR(AppendLogEntry(in, &e, stats));
+    pg += extents[i].pages;
+  }
+  CommitLogTail(in, stats);
+
+  // DRAM state.
+  std::vector<Extent> displaced;
+  pg = off / kBlockSize;
+  for (size_t i = 0; i < extents.size(); ++i) {
+    auto d = in.pages.Insert(pg, extents[i].pages, extents[i].block_off,
+                             sns[i].Pack());
+    displaced.insert(displaced.end(), d.begin(), d.end());
+    pg += extents[i].pages;
+  }
+  in.size = new_size;
+  in.mtime_ns = mtime;
+  ReleaseBlocks(in, std::move(displaced));
+  return OkStatus();
+}
+
+uint64_t NovaFs::WaitPendingWrite(Inode& in) {
+  if (in.pending_channel == nullptr) {
+    return 0;
+  }
+  if (in.pending_channel->IsComplete(in.pending_sn)) {
+    in.pending_channel = nullptr;
+    in.pending_sn = dma::Sn::None();
+    return 0;
+  }
+  const sim::SimTime t0 = sim_->now();
+  in.pending_channel->WaitSn(in.pending_sn);
+  in.pending_channel = nullptr;
+  in.pending_sn = dma::Sn::None();
+  return sim_->now() - t0;
+}
+
+void NovaFs::MaybeCompactLog(Inode& in, fs::OpStats* stats) {
+  // NOVA §3.6-style thorough GC: triggered once the chain is 4x larger than
+  // its live entries need. Only at op boundaries (tail == next) and with no
+  // outstanding orderless write (callers run WaitPendingWrite first).
+  assert(in.log_tail == in.log_next);
+  if (in.log_pages < options_.gc_min_pages) {
+    return;
+  }
+  const uint64_t live =
+      in.pages.extent_count() + (in.is_dir ? in.dentries.size() : 0);
+  const uint64_t needed_pages =
+      std::max<uint64_t>(1, (live + kEntriesPerLogPage - 1) /
+                                kEntriesPerLogPage);
+  if (in.log_pages < 4 * needed_pages) {
+    return;
+  }
+
+  // Build the replacement chain (best effort: bail out on allocation
+  // pressure; the old log stays valid).
+  auto new_pages = allocator_->AllocMulti(needed_pages, 0);
+  if (!new_pages.ok()) {
+    return;
+  }
+  std::vector<uint64_t> pages;
+  for (const Extent& e : *new_pages) {
+    for (uint64_t i = 0; i < e.pages; ++i) {
+      pages.push_back(e.block_off + i * kBlockSize);
+    }
+  }
+  // Link headers.
+  for (size_t i = 0; i < pages.size(); ++i) {
+    LogPageHeader hdr{};
+    hdr.next_page = i + 1 < pages.size() ? pages[i + 1] : 0;
+    Timed(stats, &fs::OpStats::meta_ns,
+          [&] { mem_->MetaWrite(pages[i], &hdr, sizeof(hdr)); });
+  }
+  // Write the live entries.
+  uint64_t write_off = pages[0] + sizeof(LogPageHeader);
+  size_t page_idx = 0;
+  uint64_t slots_used = 0;
+  auto emit = [&](const void* entry) {
+    if (slots_used == kEntriesPerLogPage) {
+      page_idx++;
+      write_off = pages[page_idx] + sizeof(LogPageHeader);
+      slots_used = 0;
+    }
+    Timed(stats, &fs::OpStats::meta_ns,
+          [&] { mem_->MetaWrite(write_off, entry, kLogEntrySize); });
+    write_off += kLogEntrySize;
+    slots_used++;
+  };
+  if (in.is_dir) {
+    for (const auto& [name, child] : in.dentries) {
+      DentryEntry e{};
+      e.type = static_cast<uint8_t>(EntryType::kDentryAdd);
+      e.name_len = static_cast<uint8_t>(name.size());
+      e.child_ino = child;
+      e.mtime_ns = in.mtime_ns;
+      std::memcpy(e.name, name.data(), name.size());
+      e.csum = e.ComputeCsum();
+      emit(&e);
+    }
+  } else {
+    in.pages.ForEachExtent([&](uint64_t pgoff, uint64_t n_pages,
+                               uint64_t block_off) {
+      WriteEntry e{};
+      e.type = static_cast<uint8_t>(EntryType::kWrite);
+      e.pgoff = pgoff;
+      e.num_pages = n_pages;
+      e.block_off = block_off;
+      e.new_size = in.size;
+      e.mtime_ns = in.mtime_ns;
+      e.sn_packed = dma::Sn::None().Pack();  // all data already durable
+      e.csum = e.ComputeCsum();
+      emit(&e);
+    });
+  }
+
+  // Atomic switch: head and tail move together or not at all.
+  const uint64_t old_head = in.log_head;
+  const uint64_t old_tail = in.log_tail;
+  const JournalRecord::JWrite writes[] = {
+      {PInodeOff(in.slot) + offsetof(PInode, log_head), pages[0]},
+      {PInodeOff(in.slot) + offsetof(PInode, log_tail), write_off},
+  };
+  Timed(stats, &fs::OpStats::meta_ns, [&] {
+    journal_->CommitAndApply(writes,
+                             sim_->current() ? sim_->current()->core() : 0);
+  });
+  in.log_head = pages[0];
+  in.log_tail = write_off;
+  in.log_next = write_off;
+  in.log_pages = pages.size();
+  log_compactions_++;
+
+  // Release the superseded chain.
+  uint64_t page = old_head;
+  while (page != 0) {
+    const uint64_t next = mem_->As<LogPageHeader>(page)->next_page;
+    allocator_->Free(Extent{page, 1});
+    if (old_tail > page && old_tail <= page + kBlockSize) {
+      break;
+    }
+    page = next;
+  }
+}
+
+void NovaFs::ReleaseBlocks(Inode& in, std::vector<Extent> displaced) {
+  if (in.pending_reads > 0) {
+    in.deferred_free.insert(in.deferred_free.end(), displaced.begin(),
+                            displaced.end());
+    return;
+  }
+  for (const Extent& e : displaced) {
+    allocator_->Free(e);
+  }
+}
+
+void NovaFs::OnReadDone(Inode& in) {
+  assert(in.pending_reads > 0);
+  in.pending_reads--;
+  if (in.pending_reads == 0 && !in.deferred_free.empty()) {
+    for (const Extent& e : in.deferred_free) {
+      allocator_->Free(e);
+    }
+    in.deferred_free.clear();
+  }
+}
+
+void NovaFs::FillZero(std::byte* dst, size_t n, fs::OpStats* stats) {
+  std::memset(dst, 0, n);
+  Charge(stats, &fs::OpStats::data_ns, TransferNs(n, 12.0));  // DRAM memset
+}
+
+std::vector<NovaFs::ByteRange> NovaFs::SegmentsToByteRanges(
+    const std::vector<PageMap::Segment>& segs, uint64_t off, size_t n) {
+  std::vector<ByteRange> out;
+  const uint64_t end = off + n;
+  for (const auto& seg : segs) {
+    const uint64_t seg_begin = seg.pgoff * kBlockSize;
+    const uint64_t seg_end = seg_begin + seg.pages * kBlockSize;
+    const uint64_t lo = std::max(off, seg_begin);
+    const uint64_t hi = std::min(end, seg_end);
+    if (hi <= lo) {
+      continue;
+    }
+    ByteRange r;
+    r.buf_off = lo - off;
+    r.bytes = hi - lo;
+    r.hole = seg.hole;
+    r.pmem_off = seg.hole ? 0 : seg.block_off + (lo - seg_begin);
+    out.push_back(r);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- data paths ---
+
+void NovaFs::MoveToPmem(uint64_t pmem_off, const std::byte* src, size_t bytes,
+                        fs::OpStats* stats) {
+  Timed(stats, &fs::OpStats::data_ns,
+        [&] { mem_->CpuWrite(pmem_off, src, bytes); });
+}
+
+void NovaFs::MoveFromPmem(std::byte* dst, uint64_t pmem_off, size_t bytes,
+                          fs::OpStats* stats) {
+  Timed(stats, &fs::OpStats::data_ns,
+        [&] { mem_->CpuRead(dst, pmem_off, bytes); });
+}
+
+StatusOr<size_t> NovaFs::WriteInternal(Inode& in, uint64_t off,
+                                       std::span<const std::byte> buf,
+                                       bool append, fs::OpStats* stats) {
+  in.lock.WriteLock();
+  MaybeCompactLog(in, stats);
+  if (append) {
+    off = in.size;
+  }
+  const size_t n = buf.size();
+  const uint64_t first_pg = off / kBlockSize;
+  const uint64_t pages = (off + n - 1) / kBlockSize - first_pg + 1;
+
+  Charge(stats, &fs::OpStats::index_ns,
+         params().index_base_ns + params().index_per_page_ns * pages);
+
+  auto extents = AllocBlocks(pages, stats);
+  if (!extents.ok()) {
+    in.lock.WriteUnlock();
+    Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
+    return extents.status();
+  }
+  FillWriteEdges(in, off, n, *extents, stats);
+
+  // NOVA order: data first (synchronously, via the mover hook)...
+  size_t copied = 0;
+  const uint64_t head = off % kBlockSize;
+  for (const Extent& e : *extents) {
+    const uint64_t ext_bytes = e.pages * kBlockSize;
+    const uint64_t skip = copied == 0 ? head : 0;
+    const size_t chunk =
+        std::min<uint64_t>(n - copied, ext_bytes - skip);
+    MoveToPmem(e.block_off + skip, buf.data() + copied, chunk, stats);
+    copied += chunk;
+  }
+  assert(copied == n);
+
+  // ...then strictly ordered metadata commit.
+  std::vector<dma::Sn> sns(extents->size(), dma::Sn::None());
+  const Status st = CommitWrite(in, off, n, *extents, sns, stats);
+  in.lock.WriteUnlock();
+  Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
+  if (!st.ok()) {
+    return st;
+  }
+  return n;
+}
+
+StatusOr<size_t> NovaFs::ReadInternal(Inode& in, uint64_t off,
+                                      std::span<std::byte> buf,
+                                      fs::OpStats* stats) {
+  in.lock.ReadLock();
+  if (off >= in.size) {
+    in.lock.ReadUnlock();
+    Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
+    return size_t{0};
+  }
+  const size_t n = std::min<uint64_t>(buf.size(), in.size - off);
+  const uint64_t first_pg = off / kBlockSize;
+  const uint64_t pages = (off + n - 1) / kBlockSize - first_pg + 1;
+
+  Charge(stats, &fs::OpStats::index_ns,
+         params().index_base_ns + params().index_per_page_ns * pages);
+  const auto segs = in.pages.Lookup(first_pg, pages);
+  in.pending_reads++;
+
+  for (const ByteRange& r : SegmentsToByteRanges(segs, off, n)) {
+    if (r.hole) {
+      FillZero(buf.data() + r.buf_off, r.bytes, stats);
+    } else {
+      MoveFromPmem(buf.data() + r.buf_off, r.pmem_off, r.bytes, stats);
+    }
+  }
+  OnReadDone(in);
+  in.lock.ReadUnlock();
+  Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
+  return n;
+}
+
+Status NovaFs::FsyncInternal(Inode& in) {
+  // Synchronous modes are durable at return; nothing to do.
+  return OkStatus();
+}
+
+// ----------------------------------------------------------- fd plumbing ----
+
+NovaFs::Inode* NovaFs::ResolveFd(int fd) {
+  const size_t idx = static_cast<size_t>(fd - kFirstFd);
+  if (fd < kFirstFd || idx >= fd_table_.size() || fd_table_[idx] == 0) {
+    return nullptr;
+  }
+  auto it = inodes_.find(fd_table_[idx]);
+  return it == inodes_.end() ? nullptr : it->second.get();
+}
+
+StatusOr<int> NovaFs::AllocFd(Inode* in) {
+  in->open_count++;
+  if (!free_fds_.empty()) {
+    const int fd = free_fds_.back();
+    free_fds_.pop_back();
+    fd_table_[static_cast<size_t>(fd - kFirstFd)] = in->ino;
+    return fd;
+  }
+  fd_table_.push_back(in->ino);
+  return kFirstFd + static_cast<int>(fd_table_.size()) - 1;
+}
+
+// ------------------------------------------------------------- data entry ---
+
+StatusOr<size_t> NovaFs::Write(int fd, uint64_t off,
+                               std::span<const std::byte> buf,
+                               fs::OpStats* stats) {
+  fs::OpStats local;
+  if (stats == nullptr) {
+    stats = &local;
+  }
+  stats->Clear();
+  const sim::SimTime t0 = sim_->now();
+  Charge(stats, &fs::OpStats::syscall_ns, params().syscall_enter_ns);
+  Inode* in = ResolveFd(fd);
+  if (in == nullptr) {
+    return BadFd();
+  }
+  if (in->is_dir) {
+    return Status(ErrorCode::kIsDir);
+  }
+  if (buf.empty()) {
+    return size_t{0};
+  }
+  auto r = WriteInternal(*in, off, buf, /*append=*/false, stats);
+  stats->total_ns = sim_->now() - t0;
+  stats->cpu_ns = stats->total_ns - stats->blocked_ns;
+  return r;
+}
+
+StatusOr<size_t> NovaFs::Append(int fd, std::span<const std::byte> buf,
+                                fs::OpStats* stats) {
+  fs::OpStats local;
+  if (stats == nullptr) {
+    stats = &local;
+  }
+  stats->Clear();
+  const sim::SimTime t0 = sim_->now();
+  Charge(stats, &fs::OpStats::syscall_ns, params().syscall_enter_ns);
+  Inode* in = ResolveFd(fd);
+  if (in == nullptr) {
+    return BadFd();
+  }
+  if (in->is_dir) {
+    return Status(ErrorCode::kIsDir);
+  }
+  if (buf.empty()) {
+    return size_t{0};
+  }
+  auto r = WriteInternal(*in, 0, buf, /*append=*/true, stats);
+  stats->total_ns = sim_->now() - t0;
+  stats->cpu_ns = stats->total_ns - stats->blocked_ns;
+  return r;
+}
+
+StatusOr<size_t> NovaFs::Read(int fd, uint64_t off, std::span<std::byte> buf,
+                              fs::OpStats* stats) {
+  fs::OpStats local;
+  if (stats == nullptr) {
+    stats = &local;
+  }
+  stats->Clear();
+  const sim::SimTime t0 = sim_->now();
+  Charge(stats, &fs::OpStats::syscall_ns, params().syscall_enter_ns);
+  Inode* in = ResolveFd(fd);
+  if (in == nullptr) {
+    return BadFd();
+  }
+  if (in->is_dir) {
+    return Status(ErrorCode::kIsDir);
+  }
+  if (buf.empty()) {
+    return size_t{0};
+  }
+  auto r = ReadInternal(*in, off, buf, stats);
+  stats->total_ns = sim_->now() - t0;
+  stats->cpu_ns = stats->total_ns - stats->blocked_ns;
+  return r;
+}
+
+Status NovaFs::Fsync(int fd) {
+  Inode* in = ResolveFd(fd);
+  if (in == nullptr) {
+    return BadFd();
+  }
+  sim_->Advance(params().syscall_enter_ns + params().syscall_exit_ns);
+  return FsyncInternal(*in);
+}
+
+// -------------------------------------------------------- namespace ops -----
+
+StatusOr<NovaFs::Inode*> NovaFs::ResolvePath(
+    const std::vector<std::string>& parts) {
+  Inode* cur = inodes_.at(kRootIno).get();
+  for (const auto& part : parts) {
+    if (!cur->is_dir) {
+      return Status(ErrorCode::kNotDir);
+    }
+    sim_->Advance(params().index_base_ns);  // dcache lookup per component
+    auto it = cur->dentries.find(part);
+    if (it == cur->dentries.end()) {
+      return NotFound(part);
+    }
+    cur = inodes_.at(it->second).get();
+  }
+  return cur;
+}
+
+StatusOr<NovaFs::Inode*> NovaFs::ResolveParent(const std::string& path,
+                                               std::string* leaf) {
+  std::vector<std::string> parent;
+  EASYIO_RETURN_IF_ERROR(fs::SplitParent(path, &parent, leaf));
+  if (leaf->size() > kMaxNameLen) {
+    return Status(ErrorCode::kNameTooLong, *leaf);
+  }
+  EASYIO_ASSIGN_OR_RETURN(Inode * dir, ResolvePath(parent));
+  if (!dir->is_dir) {
+    return Status(ErrorCode::kNotDir);
+  }
+  return dir;
+}
+
+StatusOr<NovaFs::Inode*> NovaFs::AllocInode(bool is_dir) {
+  if (free_slots_.empty()) {
+    return NoSpace("inode table full");
+  }
+  const uint64_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  const uint64_t ino = slot + 1;
+
+  // Persist the inode body with the valid bit clear; the journal commit of
+  // the namespace operation flips it together with the dentry.
+  PInode pi{};
+  pi.ino = ino;
+  pi.flags = is_dir ? PInode::kFlagDir : 0;
+  pi.nlink = 1;
+  pi.mtime_ns = sim_->now();
+  mem_->MetaWrite(PInodeOff(slot), &pi, sizeof(pi));
+
+  auto in = std::make_unique<Inode>(sim_, ino, slot);
+  in->is_dir = is_dir;
+  in->mtime_ns = pi.mtime_ns;
+  Inode* raw = in.get();
+  inodes_.emplace(ino, std::move(in));
+  return raw;
+}
+
+Status NovaFs::AppendDentry(Inode& dir, EntryType type,
+                            const std::string& name, uint64_t child_ino,
+                            fs::OpStats* stats) {
+  DentryEntry e{};
+  e.type = static_cast<uint8_t>(type);
+  e.name_len = static_cast<uint8_t>(name.size());
+  e.child_ino = child_ino;
+  e.mtime_ns = sim_->now();
+  std::memcpy(e.name, name.data(), name.size());
+  e.csum = e.ComputeCsum();
+  return AppendLogEntry(dir, &e, stats);
+}
+
+StatusOr<int> NovaFs::Create(const std::string& path) {
+  sim_->Advance(params().syscall_enter_ns);
+  uthread::MutexLock ns(&namespace_lock_);
+  std::string leaf;
+  EASYIO_ASSIGN_OR_RETURN(Inode * dir, ResolveParent(path, &leaf));
+  if (dir->dentries.contains(leaf)) {
+    return AlreadyExists(path);
+  }
+  MaybeCompactLog(*dir, nullptr);
+  EASYIO_ASSIGN_OR_RETURN(Inode * child, AllocInode(/*is_dir=*/false));
+  EASYIO_RETURN_IF_ERROR(
+      AppendDentry(*dir, EntryType::kDentryAdd, leaf, child->ino, nullptr));
+
+  const JournalRecord::JWrite writes[] = {
+      {PInodeOff(dir->slot) + offsetof(PInode, log_tail), dir->log_next},
+      {PInodeOff(child->slot) + offsetof(PInode, flags), PInode::kFlagValid},
+  };
+  journal_->CommitAndApply(writes,
+                           sim_->current() ? sim_->current()->core() : 0);
+  dir->log_tail = dir->log_next;
+  dir->dentries[leaf] = child->ino;
+  dir->mtime_ns = sim_->now();
+
+  auto fd = AllocFd(child);
+  sim_->Advance(params().syscall_exit_ns);
+  return fd;
+}
+
+Status NovaFs::Mkdir(const std::string& path) {
+  sim_->Advance(params().syscall_enter_ns);
+  uthread::MutexLock ns(&namespace_lock_);
+  std::string leaf;
+  EASYIO_ASSIGN_OR_RETURN(Inode * dir, ResolveParent(path, &leaf));
+  if (dir->dentries.contains(leaf)) {
+    return AlreadyExists(path);
+  }
+  MaybeCompactLog(*dir, nullptr);
+  EASYIO_ASSIGN_OR_RETURN(Inode * child, AllocInode(/*is_dir=*/true));
+  EASYIO_RETURN_IF_ERROR(
+      AppendDentry(*dir, EntryType::kDentryAdd, leaf, child->ino, nullptr));
+  const JournalRecord::JWrite writes[] = {
+      {PInodeOff(dir->slot) + offsetof(PInode, log_tail), dir->log_next},
+      {PInodeOff(child->slot) + offsetof(PInode, flags),
+       PInode::kFlagValid | PInode::kFlagDir},
+  };
+  journal_->CommitAndApply(writes,
+                           sim_->current() ? sim_->current()->core() : 0);
+  dir->log_tail = dir->log_next;
+  dir->dentries[leaf] = child->ino;
+  dir->mtime_ns = sim_->now();
+  sim_->Advance(params().syscall_exit_ns);
+  return OkStatus();
+}
+
+StatusOr<int> NovaFs::Open(const std::string& path) {
+  sim_->Advance(params().syscall_enter_ns);
+  uthread::MutexLock ns(&namespace_lock_);
+  EASYIO_ASSIGN_OR_RETURN(auto parts, fs::SplitPath(path));
+  EASYIO_ASSIGN_OR_RETURN(Inode * in, ResolvePath(parts));
+  auto fd = AllocFd(in);
+  sim_->Advance(params().syscall_exit_ns);
+  return fd;
+}
+
+Status NovaFs::Close(int fd) {
+  Inode* in = ResolveFd(fd);
+  if (in == nullptr) {
+    return BadFd();
+  }
+  fd_table_[static_cast<size_t>(fd - kFirstFd)] = 0;
+  free_fds_.push_back(fd);
+  in->open_count--;
+  if (in->open_count == 0 && in->unlinked) {
+    DestroyInode(in);
+  }
+  return OkStatus();
+}
+
+void NovaFs::FreeInodeResources(Inode& in) {
+  // Wait out any in-flight orderless write, then free data + log pages.
+  WaitPendingWrite(in);
+  std::vector<Extent> extents;
+  in.pages.Clear(&extents);
+  extents.insert(extents.end(), in.deferred_free.begin(),
+                 in.deferred_free.end());
+  in.deferred_free.clear();
+  for (const Extent& e : extents) {
+    allocator_->Free(e);
+  }
+  uint64_t page = in.log_head;
+  while (page != 0) {
+    const uint64_t next = mem_->As<LogPageHeader>(page)->next_page;
+    allocator_->Free(Extent{page, 1});
+    if (in.log_tail > page && in.log_tail <= page + kBlockSize) {
+      break;  // reached the tail page
+    }
+    page = next;
+  }
+  in.log_head = 0;
+  in.log_tail = 0;
+  in.log_next = 0;
+  in.log_pages = 0;
+}
+
+void NovaFs::DestroyInode(Inode* in) {
+  FreeInodeResources(*in);
+  free_slots_.push_back(in->slot);
+  inodes_.erase(in->ino);
+}
+
+Status NovaFs::Unlink(const std::string& path) {
+  sim_->Advance(params().syscall_enter_ns);
+  uthread::MutexLock ns(&namespace_lock_);
+  std::string leaf;
+  EASYIO_ASSIGN_OR_RETURN(Inode * dir, ResolveParent(path, &leaf));
+  auto it = dir->dentries.find(leaf);
+  if (it == dir->dentries.end()) {
+    return NotFound(path);
+  }
+  Inode* child = inodes_.at(it->second).get();
+  if (child->is_dir && !child->dentries.empty()) {
+    return Status(ErrorCode::kNotEmpty, path);
+  }
+  MaybeCompactLog(*dir, nullptr);
+  EASYIO_RETURN_IF_ERROR(
+      AppendDentry(*dir, EntryType::kDentryRemove, leaf, child->ino, nullptr));
+
+  const uint64_t new_nlink = child->nlink - 1;
+  const uint64_t new_flags = new_nlink == 0 ? 0 : PInode::kFlagValid;
+  const JournalRecord::JWrite writes[] = {
+      {PInodeOff(dir->slot) + offsetof(PInode, log_tail), dir->log_next},
+      {PInodeOff(child->slot) + offsetof(PInode, nlink), new_nlink},
+      {PInodeOff(child->slot) + offsetof(PInode, flags), new_flags},
+  };
+  journal_->CommitAndApply(writes,
+                           sim_->current() ? sim_->current()->core() : 0);
+  dir->log_tail = dir->log_next;
+  dir->dentries.erase(it);
+  dir->mtime_ns = sim_->now();
+  child->nlink = new_nlink;
+  if (new_nlink == 0) {
+    if (child->open_count > 0) {
+      child->unlinked = true;
+    } else {
+      DestroyInode(child);
+    }
+  }
+  sim_->Advance(params().syscall_exit_ns);
+  return OkStatus();
+}
+
+Status NovaFs::Link(const std::string& existing,
+                    const std::string& link_path) {
+  sim_->Advance(params().syscall_enter_ns);
+  uthread::MutexLock ns(&namespace_lock_);
+  EASYIO_ASSIGN_OR_RETURN(auto parts, fs::SplitPath(existing));
+  EASYIO_ASSIGN_OR_RETURN(Inode * target, ResolvePath(parts));
+  if (target->is_dir) {
+    return Status(ErrorCode::kIsDir, existing);
+  }
+  std::string leaf;
+  EASYIO_ASSIGN_OR_RETURN(Inode * dir, ResolveParent(link_path, &leaf));
+  if (dir->dentries.contains(leaf)) {
+    return AlreadyExists(link_path);
+  }
+  EASYIO_RETURN_IF_ERROR(
+      AppendDentry(*dir, EntryType::kDentryAdd, leaf, target->ino, nullptr));
+  const JournalRecord::JWrite writes[] = {
+      {PInodeOff(dir->slot) + offsetof(PInode, log_tail), dir->log_next},
+      {PInodeOff(target->slot) + offsetof(PInode, nlink), target->nlink + 1},
+  };
+  journal_->CommitAndApply(writes,
+                           sim_->current() ? sim_->current()->core() : 0);
+  dir->log_tail = dir->log_next;
+  dir->dentries[leaf] = target->ino;
+  dir->mtime_ns = sim_->now();
+  target->nlink++;
+  sim_->Advance(params().syscall_exit_ns);
+  return OkStatus();
+}
+
+Status NovaFs::Rename(const std::string& from, const std::string& to) {
+  sim_->Advance(params().syscall_enter_ns);
+  uthread::MutexLock ns(&namespace_lock_);
+  std::string from_leaf;
+  EASYIO_ASSIGN_OR_RETURN(Inode * from_dir, ResolveParent(from, &from_leaf));
+  auto from_it = from_dir->dentries.find(from_leaf);
+  if (from_it == from_dir->dentries.end()) {
+    return NotFound(from);
+  }
+  Inode* moving = inodes_.at(from_it->second).get();
+
+  std::string to_leaf;
+  EASYIO_ASSIGN_OR_RETURN(Inode * to_dir, ResolveParent(to, &to_leaf));
+
+  Inode* displaced = nullptr;
+  auto to_it = to_dir->dentries.find(to_leaf);
+  if (to_it != to_dir->dentries.end()) {
+    displaced = inodes_.at(to_it->second).get();
+    if (displaced == moving) {
+      sim_->Advance(params().syscall_exit_ns);
+      return OkStatus();
+    }
+    if (displaced->is_dir && !displaced->dentries.empty()) {
+      return Status(ErrorCode::kNotEmpty, to);
+    }
+  }
+
+  EASYIO_RETURN_IF_ERROR(AppendDentry(*from_dir, EntryType::kDentryRemove,
+                                      from_leaf, moving->ino, nullptr));
+  EASYIO_RETURN_IF_ERROR(AppendDentry(*to_dir, EntryType::kDentryAdd, to_leaf,
+                                      moving->ino, nullptr));
+
+  std::vector<JournalRecord::JWrite> writes;
+  writes.push_back(
+      {PInodeOff(from_dir->slot) + offsetof(PInode, log_tail),
+       from_dir->log_next});
+  if (to_dir != from_dir) {
+    writes.push_back({PInodeOff(to_dir->slot) + offsetof(PInode, log_tail),
+                      to_dir->log_next});
+  }
+  uint64_t displaced_nlink = 0;
+  if (displaced != nullptr) {
+    displaced_nlink = displaced->nlink - 1;
+    writes.push_back({PInodeOff(displaced->slot) + offsetof(PInode, nlink),
+                      displaced_nlink});
+    if (displaced_nlink == 0) {
+      writes.push_back(
+          {PInodeOff(displaced->slot) + offsetof(PInode, flags), 0});
+    }
+  }
+  journal_->CommitAndApply(writes,
+                           sim_->current() ? sim_->current()->core() : 0);
+
+  from_dir->log_tail = from_dir->log_next;
+  to_dir->log_tail = to_dir->log_next;
+  from_dir->dentries.erase(from_it);
+  to_dir->dentries[to_leaf] = moving->ino;
+  from_dir->mtime_ns = to_dir->mtime_ns = sim_->now();
+  if (displaced != nullptr) {
+    displaced->nlink = displaced_nlink;
+    if (displaced_nlink == 0) {
+      if (displaced->open_count > 0) {
+        displaced->unlinked = true;
+      } else {
+        DestroyInode(displaced);
+      }
+    }
+  }
+  sim_->Advance(params().syscall_exit_ns);
+  return OkStatus();
+}
+
+fs::FileStat NovaFs::StatOf(const Inode& in) const {
+  fs::FileStat st;
+  st.ino = in.ino;
+  st.size = in.size;
+  st.nlink = in.nlink;
+  st.mtime_ns = in.mtime_ns;
+  st.is_dir = in.is_dir;
+  return st;
+}
+
+StatusOr<fs::FileStat> NovaFs::StatPath(const std::string& path) {
+  sim_->Advance(params().syscall_enter_ns);
+  uthread::MutexLock ns(&namespace_lock_);
+  EASYIO_ASSIGN_OR_RETURN(auto parts, fs::SplitPath(path));
+  EASYIO_ASSIGN_OR_RETURN(Inode * in, ResolvePath(parts));
+  sim_->Advance(params().syscall_exit_ns);
+  return StatOf(*in);
+}
+
+StatusOr<fs::FileStat> NovaFs::StatFd(int fd) {
+  Inode* in = ResolveFd(fd);
+  if (in == nullptr) {
+    return BadFd();
+  }
+  sim_->Advance(params().syscall_enter_ns + params().syscall_exit_ns);
+  return StatOf(*in);
+}
+
+}  // namespace easyio::nova

@@ -1,0 +1,252 @@
+// NovaFs: a NOVA-style log-structured slow-memory filesystem (paper §5).
+//
+// This class is the complete synchronous baseline ("NOVA" in the paper's
+// evaluation): per-inode metadata logs with a persistent tail as the commit
+// point, CoW data blocks, journaled multi-inode namespace operations, and a
+// mount-time recovery scan. Data movement goes through two virtual hooks
+// (MoveToPmem / MoveFromPmem) that the NOVA-DMA and OdinFS baselines
+// override, while EasyIO overrides the whole read/write structure
+// (WriteInternal / ReadInternal) to implement orderless commit and two-level
+// locking on top of the same layout, allocator, log and recovery machinery —
+// mirroring how the real EasyIO patches NOVA with <50 lines.
+//
+// All operations must be called from inside a sim::Task; they charge modeled
+// syscall/index/metadata/data time per MediaParams.
+
+#ifndef EASYIO_NOVA_NOVA_FS_H_
+#define EASYIO_NOVA_NOVA_FS_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/dma/channel.h"
+#include "src/dma/sn.h"
+#include "src/fs/file_system.h"
+#include "src/nova/allocator.h"
+#include "src/nova/journal.h"
+#include "src/nova/layout.h"
+#include "src/nova/page_map.h"
+#include "src/pmem/slow_memory.h"
+#include "src/uthread/scheduler.h"
+
+namespace easyio::nova {
+
+class NovaFs : public fs::FileSystem {
+ public:
+  struct Options {
+    uint64_t inode_count = 16384;
+    uint64_t journal_slots = 64;
+    uint64_t comp_channels = 16;  // completion-record region in the layout
+    int alloc_shards = 16;
+    // Log-GC trigger: compact once the chain exceeds this many pages AND is
+    // 4x what its live entries need. Tests lower it to exercise compaction
+    // cheaply.
+    uint64_t gc_min_pages = 16;
+  };
+
+  NovaFs(pmem::SlowMemory* mem, const Options& options);
+  ~NovaFs() override;
+
+  // Initializes a fresh filesystem on the device.
+  Status Format();
+  // Mounts an existing image: replays journals, scans inode logs, validates
+  // write entries against the completion records (§4.2), rebuilds the
+  // allocator. Must run before any DmaEngine is constructed on the device
+  // (engine construction starts a fresh completion era).
+  Status Mount();
+
+  const Layout& layout() const { return layout_; }
+  pmem::SlowMemory* memory() const { return mem_; }
+
+  // ---- fs::FileSystem ----
+  std::string_view name() const override { return "NOVA"; }
+  StatusOr<int> Create(const std::string& path) override;
+  StatusOr<int> Open(const std::string& path) override;
+  Status Close(int fd) override;
+  Status Mkdir(const std::string& path) override;
+  Status Unlink(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Link(const std::string& existing,
+              const std::string& link_path) override;
+  StatusOr<fs::FileStat> StatPath(const std::string& path) override;
+  StatusOr<fs::FileStat> StatFd(int fd) override;
+  StatusOr<size_t> Read(int fd, uint64_t off, std::span<std::byte> buf,
+                        fs::OpStats* stats) override;
+  StatusOr<size_t> Write(int fd, uint64_t off, std::span<const std::byte> buf,
+                         fs::OpStats* stats) override;
+  StatusOr<size_t> Append(int fd, std::span<const std::byte> buf,
+                          fs::OpStats* stats) override;
+  Status Fsync(int fd) override;
+  using fs::FileSystem::Append;
+  using fs::FileSystem::Read;
+  using fs::FileSystem::Write;
+
+  // ---- introspection (tests, EXPERIMENTS.md) ----
+  uint64_t recovery_discarded_entries() const {
+    return recovery_discarded_entries_;
+  }
+  uint64_t recovery_replayed_journals() const {
+    return recovery_replayed_journals_;
+  }
+  uint64_t free_pages() const { return allocator_->free_pages(); }
+  uint64_t log_compactions() const { return log_compactions_; }
+
+ protected:
+  // In-DRAM inode state, rebuilt from the log at mount.
+  struct Inode {
+    Inode(sim::Simulation* sim, uint64_t ino, uint64_t slot)
+        : ino(ino), slot(slot), lock(sim) {}
+
+    uint64_t ino;
+    uint64_t slot;
+    bool is_dir = false;
+    uint64_t nlink = 1;
+    uint64_t size = 0;
+    uint64_t mtime_ns = 0;
+    uint64_t log_head = 0;   // mirrors PInode
+    uint64_t log_tail = 0;   // committed tail (mirrors PInode)
+    uint64_t log_next = 0;   // next free slot (>= log_tail; uncommitted)
+    uint64_t log_pages = 0;  // pages in the chain (GC trigger)
+    PageMap pages;
+    std::map<std::string, uint64_t> dentries;  // directories only
+    uthread::RwLock lock;  // level-1 file lock
+
+    // EasyIO state: the (single) outstanding orderless write (§4.3 ensures
+    // at most one per file) and in-flight-read accounting for deferred free.
+    dma::Channel* pending_channel = nullptr;
+    dma::Sn pending_sn = dma::Sn::None();
+    int pending_reads = 0;
+    std::vector<Extent> deferred_free;
+
+    int open_count = 0;
+    bool unlinked = false;  // free resources on last close
+  };
+
+  // ---- mode hooks ----
+  // Synchronous data movement, overridden by NOVA-DMA (sync DMA wait) and
+  // OdinFS (delegation). Both charge into stats->data_ns.
+  virtual void MoveToPmem(uint64_t pmem_off, const std::byte* src,
+                          size_t bytes, fs::OpStats* stats);
+  virtual void MoveFromPmem(std::byte* dst, uint64_t pmem_off, size_t bytes,
+                            fs::OpStats* stats);
+  // Whole-path hooks; the base implementations are NOVA's strictly ordered
+  // synchronous paths. They are entered after fd resolution with the syscall
+  // entry cost already charged, and must charge the exit cost themselves.
+  virtual StatusOr<size_t> WriteInternal(Inode& in, uint64_t off,
+                                         std::span<const std::byte> buf,
+                                         bool append, fs::OpStats* stats);
+  virtual StatusOr<size_t> ReadInternal(Inode& in, uint64_t off,
+                                        std::span<std::byte> buf,
+                                        fs::OpStats* stats);
+  virtual Status FsyncInternal(Inode& in);
+
+  // ---- shared machinery for subclasses ----
+  sim::Simulation* sim() const { return sim_; }
+  const pmem::MediaParams& params() const { return mem_->params(); }
+
+  Inode* ResolveFd(int fd);
+  uint64_t PInodeOff(uint64_t slot) const {
+    return layout_.inode_table_off + slot * kPInodeSize;
+  }
+
+  // Charges `ns` of CPU time and attributes it to a breakdown category.
+  void Charge(fs::OpStats* stats, uint64_t fs::OpStats::*cat, uint64_t ns);
+  // Runs `fn` and attributes the elapsed virtual time to `cat`.
+  template <typename Fn>
+  void Timed(fs::OpStats* stats, uint64_t fs::OpStats::*cat, Fn&& fn) {
+    const sim::SimTime t0 = sim_->now();
+    fn();
+    if (stats != nullptr) {
+      stats->*cat += sim_->now() - t0;
+    }
+  }
+
+  // Appends a 64-byte entry to the inode's log (allocating/chaining pages as
+  // needed); does not commit. Returns OK or allocation failure.
+  Status AppendLogEntry(Inode& in, const void* entry, fs::OpStats* stats);
+  // Commits in.log_next as the new persistent tail.
+  void CommitLogTail(Inode& in, fs::OpStats* stats);
+
+  // Allocates CoW extents for `pages`, charging allocator cost.
+  StatusOr<std::vector<Extent>> AllocBlocks(uint64_t pages,
+                                            fs::OpStats* stats);
+  // Copies the preserved head/tail bytes of a partially overwritten edge
+  // page from the old mapping into the new blocks.
+  void FillWriteEdges(Inode& in, uint64_t off, size_t n,
+                      const std::vector<Extent>& extents, fs::OpStats* stats);
+  // Builds and appends the write entries for `extents` (one per extent) and
+  // commits; updates DRAM size/mtime/page map and releases displaced blocks.
+  // `sns` gives the DMA SN for each extent (Sn::None for memcpy).
+  Status CommitWrite(Inode& in, uint64_t off, size_t n,
+                     const std::vector<Extent>& extents,
+                     const std::vector<dma::Sn>& sns, fs::OpStats* stats);
+
+  // Level-2 wait (§4.3): blocks until the inode's outstanding orderless
+  // write completes. Returns the blocked time (0 when none pending).
+  uint64_t WaitPendingWrite(Inode& in);
+
+  // NOVA-style log garbage collection (NOVA §3.6): when an inode's log has
+  // grown well past what its live entries need, rewrite the live state into
+  // a fresh log chain and atomically switch head+tail via the journal.
+  // Must be called at an operation boundary (no uncommitted appends) with
+  // the file lock / namespace lock held and no pending orderless write.
+  void MaybeCompactLog(Inode& in, fs::OpStats* stats);
+
+  // Deferred free: displaced blocks are freed immediately when no reads are
+  // in flight, else parked until the last one drains.
+  void ReleaseBlocks(Inode& in, std::vector<Extent> displaced);
+  void OnReadDone(Inode& in);
+
+  // Zero-fill for holes (DRAM-side memset, charged at DRAM speed).
+  void FillZero(std::byte* dst, size_t n, fs::OpStats* stats);
+
+  // Byte range of `seg` intersected with [off, off+n), as (dst_offset within
+  // the user buffer, pmem_off, bytes).
+  struct ByteRange {
+    size_t buf_off;
+    uint64_t pmem_off;  // valid when !hole
+    size_t bytes;
+    bool hole;
+  };
+  static std::vector<ByteRange> SegmentsToByteRanges(
+      const std::vector<PageMap::Segment>& segs, uint64_t off, size_t n);
+
+  pmem::SlowMemory* mem_;
+  sim::Simulation* sim_;
+  Options options_;
+  Layout layout_{};
+  std::unique_ptr<BlockAllocator> allocator_;
+  std::unique_ptr<Journal> journal_;
+
+ private:
+  // Namespace helpers (all under namespace_lock_).
+  StatusOr<Inode*> ResolvePath(const std::vector<std::string>& parts);
+  StatusOr<Inode*> ResolveParent(const std::string& path, std::string* leaf);
+  StatusOr<Inode*> AllocInode(bool is_dir);
+  Status AppendDentry(Inode& dir, EntryType type, const std::string& name,
+                      uint64_t child_ino, fs::OpStats* stats);
+  void FreeInodeResources(Inode& in);  // blocks + log pages
+  void DestroyInode(Inode* in);
+  StatusOr<int> AllocFd(Inode* in);
+  fs::FileStat StatOf(const Inode& in) const;
+  uint64_t CompletedSeqOf(uint8_t channel) const;  // from completion records
+  Status RecoverInode(uint64_t slot);
+
+  uthread::Mutex namespace_lock_;
+  std::unordered_map<uint64_t, std::unique_ptr<Inode>> inodes_;
+  std::vector<uint64_t> free_slots_;
+  std::vector<uint64_t> fd_table_;  // fd -> ino (0 = free)
+  std::vector<int> free_fds_;
+  uint64_t recovery_discarded_entries_ = 0;
+  uint64_t recovery_replayed_journals_ = 0;
+  uint64_t log_compactions_ = 0;
+};
+
+}  // namespace easyio::nova
+
+#endif  // EASYIO_NOVA_NOVA_FS_H_

@@ -1,0 +1,124 @@
+#include "src/nova/page_map.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/nova/layout.h"
+
+namespace easyio::nova {
+
+std::vector<Extent> PageMap::Insert(uint64_t pgoff, uint64_t pages,
+                                    uint64_t block_off, uint64_t sn_packed) {
+  assert(pages > 0);
+  const uint64_t end = pgoff + pages;
+  std::vector<Extent> displaced;
+
+  // Trim a predecessor extent overlapping the front of the range.
+  auto it = map_.lower_bound(pgoff);
+  if (it != map_.begin()) {
+    auto prev = std::prev(it);
+    const uint64_t prev_end = prev->first + prev->second.pages;
+    if (prev_end > pgoff) {
+      Node old = prev->second;
+      const uint64_t left = pgoff - prev->first;  // pages kept on the left
+      const uint64_t overlap = std::min(prev_end, end) - pgoff;
+      // Keep the left part.
+      prev->second.pages = left;
+      // Displace the overlapped middle.
+      displaced.push_back(
+          Extent{old.block_off + left * kBlockSize, overlap});
+      // Re-insert the surviving right part, if any.
+      if (prev_end > end) {
+        map_.emplace(end, Node{prev_end - end,
+                               old.block_off + (left + overlap) * kBlockSize,
+                               old.sn_packed});
+      }
+      if (left == 0) {
+        map_.erase(prev);
+      }
+    }
+  }
+
+  // Consume extents starting inside the range.
+  it = map_.lower_bound(pgoff);
+  while (it != map_.end() && it->first < end) {
+    const uint64_t node_end = it->first + it->second.pages;
+    if (node_end <= end) {
+      // Fully covered.
+      displaced.push_back(Extent{it->second.block_off, it->second.pages});
+      it = map_.erase(it);
+    } else {
+      // Tail survives.
+      const uint64_t overlap = end - it->first;
+      displaced.push_back(Extent{it->second.block_off, overlap});
+      Node tail{node_end - end,
+                it->second.block_off + overlap * kBlockSize,
+                it->second.sn_packed};
+      map_.erase(it);
+      map_.emplace(end, tail);
+      break;
+    }
+  }
+
+  map_.emplace(pgoff, Node{pages, block_off, sn_packed});
+  return displaced;
+}
+
+std::vector<PageMap::Segment> PageMap::Lookup(uint64_t pgoff,
+                                              uint64_t pages) const {
+  std::vector<Segment> out;
+  if (pages == 0) {
+    return out;
+  }
+  const uint64_t end = pgoff + pages;
+  uint64_t pos = pgoff;
+
+  auto emit_hole = [&out](uint64_t at, uint64_t n) {
+    if (n > 0) {
+      out.push_back(Segment{at, n, 0, /*hole=*/true});
+    }
+  };
+
+  auto it = map_.lower_bound(pgoff);
+  // A predecessor may cover the start of the range.
+  if (it != map_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.pages > pgoff) {
+      it = prev;
+    }
+  }
+  for (; it != map_.end() && it->first < end; ++it) {
+    const uint64_t node_start = it->first;
+    const uint64_t node_end = node_start + it->second.pages;
+    const uint64_t seg_start = std::max(node_start, pos);
+    const uint64_t seg_end = std::min(node_end, end);
+    if (seg_end <= pos) {
+      continue;
+    }
+    emit_hole(pos, seg_start - pos);
+    out.push_back(Segment{
+        seg_start, seg_end - seg_start,
+        it->second.block_off + (seg_start - node_start) * kBlockSize,
+        /*hole=*/false});
+    pos = seg_end;
+  }
+  emit_hole(pos, end - pos);
+  return out;
+}
+
+void PageMap::Clear(std::vector<Extent>* freed) {
+  for (const auto& [start, node] : map_) {
+    freed->push_back(Extent{node.block_off, node.pages});
+  }
+  map_.clear();
+}
+
+uint64_t PageMap::mapped_pages() const {
+  uint64_t total = 0;
+  for (const auto& [start, node] : map_) {
+    total += node.pages;
+  }
+  return total;
+}
+
+}  // namespace easyio::nova

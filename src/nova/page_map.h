@@ -1,0 +1,67 @@
+// In-DRAM block mapping of one inode: file page index -> CoW block extent.
+//
+// NOVA rebuilds this index from the inode's log at mount time; at runtime
+// every committed write entry is applied here. Insert() returns the displaced
+// block ranges so the caller can free them (immediately, or deferred while
+// asynchronous reads are still in flight — EasyIO's early lock release makes
+// that window real, see NovaFs::ReleaseBlocks).
+
+#ifndef EASYIO_NOVA_PAGE_MAP_H_
+#define EASYIO_NOVA_PAGE_MAP_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/nova/allocator.h"
+
+namespace easyio::nova {
+
+class PageMap {
+ public:
+  struct Segment {
+    uint64_t pgoff = 0;
+    uint64_t pages = 0;
+    uint64_t block_off = 0;  // meaningless when hole
+    bool hole = false;
+
+    bool operator==(const Segment&) const = default;
+  };
+
+  // Maps file pages [pgoff, pgoff+pages) to the contiguous blocks starting at
+  // block_off; returns the displaced (overwritten) block sub-extents.
+  std::vector<Extent> Insert(uint64_t pgoff, uint64_t pages,
+                             uint64_t block_off, uint64_t sn_packed);
+
+  // Resolves [pgoff, pgoff+pages) into contiguous segments (holes included),
+  // in ascending page order.
+  std::vector<Segment> Lookup(uint64_t pgoff, uint64_t pages) const;
+
+  // Removes every mapping, appending the freed extents to `freed`.
+  void Clear(std::vector<Extent>* freed);
+
+  size_t extent_count() const { return map_.size(); }
+  uint64_t mapped_pages() const;
+  bool empty() const { return map_.empty(); }
+
+  // Iterates extents in ascending page order (for log compaction).
+  template <typename Fn>  // Fn(pgoff, pages, block_off)
+  void ForEachExtent(Fn&& fn) const {
+    for (const auto& [start, node] : map_) {
+      fn(start, node.pages, node.block_off);
+    }
+  }
+
+ private:
+  struct Node {
+    uint64_t pages;
+    uint64_t block_off;
+    uint64_t sn_packed;
+  };
+
+  std::map<uint64_t, Node> map_;  // start page -> extent
+};
+
+}  // namespace easyio::nova
+
+#endif  // EASYIO_NOVA_PAGE_MAP_H_

@@ -1,0 +1,199 @@
+#include "src/pmem/slow_memory.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/common/units.h"
+
+namespace easyio::pmem {
+
+SlowMemory::SlowMemory(sim::Simulation* sim, const MediaParams& params,
+                       size_t size)
+    : sim_(sim), params_(params), data_(size) {
+  // Cross-direction interference (Fig 4): each direction's capacities are
+  // derated by the other direction's current utilization.
+  sim::CapacityModel read_model;
+  read_model.cpu_aggregate = [this](int n) {
+    return params_.CpuReadAggregate(n) * ReadDerate();
+  };
+  read_model.dma_aggregate = [this](int n) {
+    return params_.DmaReadAggregate(n) * ReadDerate();
+  };
+  read_model.total = params_.read_total_gbps;
+  read_flows_ = std::make_unique<sim::FlowResource>(sim, "pmem-read",
+                                                    std::move(read_model));
+
+  sim::CapacityModel write_model;
+  write_model.cpu_aggregate = [this](int n) {
+    return params_.CpuWriteAggregate(n) * WriteDerate();
+  };
+  write_model.dma_aggregate = [this](int n) {
+    return params_.DmaWriteAggregate(n) * WriteDerate();
+  };
+  write_model.total = params_.write_total_gbps;
+  write_flows_ = std::make_unique<sim::FlowResource>(sim, "pmem-write",
+                                                     std::move(write_model));
+
+  // When one direction's aggregate rate moves materially, re-derive the
+  // other's rates (damped + coalesced to avoid ping-pong).
+  write_flows_->set_rates_changed_hook([this] { CrossPoke(read_flows_.get(),
+                                                          &read_poke_util_,
+                                                          write_flows_.get(),
+                                                          params_.write_total_gbps); });
+  read_flows_->set_rates_changed_hook([this] { CrossPoke(write_flows_.get(),
+                                                         &write_poke_util_,
+                                                         read_flows_.get(),
+                                                         params_.read_total_gbps); });
+}
+
+double SlowMemory::ReadDerate() const {
+  const double write_util =
+      write_flows_ == nullptr
+          ? 0.0
+          : write_flows_->total_rate_bps() /
+                (params_.write_total_gbps * kGiB);
+  return 1.0 - params_.read_loss_at_full_write *
+                   std::min(1.0, std::max(0.0, write_util));
+}
+
+double SlowMemory::WriteDerate() const {
+  const double read_util =
+      read_flows_ == nullptr
+          ? 0.0
+          : read_flows_->total_rate_bps() / (params_.read_total_gbps * kGiB);
+  return 1.0 - params_.write_loss_at_full_read *
+                   std::min(1.0, std::max(0.0, read_util));
+}
+
+void SlowMemory::CrossPoke(sim::FlowResource* target, double* last_util,
+                           sim::FlowResource* source, double source_total) {
+  const double util = source->total_rate_bps() / (source_total * kGiB);
+  if (std::abs(util - *last_util) < 0.02 || poke_pending_) {
+    return;
+  }
+  *last_util = util;
+  poke_pending_ = true;
+  sim_->ScheduleAt(sim_->now(), [this, target] {
+    poke_pending_ = false;
+    target->Poke();
+  });
+}
+
+void SlowMemory::CpuWrite(uint64_t dst_off, const void* src, size_t n) {
+  assert(dst_off + n <= data_.size());
+  assert(sim_->in_task());
+  const uint64_t token = RegisterInflightWrite(dst_off, n);  // undo snapshot
+  std::memcpy(data_.data() + dst_off, src, n);  // eager; durable at completion
+  sim::Task* task = sim_->current();
+  const auto flow = write_flows_->StartFlow(
+      n, params_.cpu_write_cap.Lookup(n), sim::FlowType::kCpu,
+      [this, token, task] {
+        CompleteInflightWrite(token);
+        sim_->Wake(task);
+      });
+  SetInflightFlow(token, write_flows_.get(), flow);
+  sim_->BlockHoldingCore();
+  PersistBarrier();
+}
+
+void SlowMemory::CpuRead(void* dst, uint64_t src_off, size_t n) {
+  assert(src_off + n <= data_.size());
+  assert(sim_->in_task());
+  std::memcpy(dst, data_.data() + src_off, n);
+  sim::Task* task = sim_->current();
+  read_flows_->StartFlow(n, params_.cpu_read_cap.Lookup(n),
+                         sim::FlowType::kCpu, [this, task] {
+                           sim_->Wake(task);
+                         });
+  sim_->BlockHoldingCore();
+}
+
+uint64_t SlowMemory::MetaCostNs(size_t n) const {
+  const uint64_t cachelines = (n + 63) / 64;
+  return params_.meta_write_base_ns + cachelines * params_.meta_write_per_cl_ns;
+}
+
+void SlowMemory::MetaWrite(uint64_t dst_off, const void* src, size_t n) {
+  assert(dst_off + n <= data_.size());
+  std::memcpy(data_.data() + dst_off, src, n);
+  if (sim_->in_task()) {
+    sim_->Advance(MetaCostNs(n));
+  }
+  PersistBarrier();
+}
+
+void SlowMemory::MetaPersist(uint64_t dst_off, size_t n) {
+  assert(dst_off + n <= data_.size());
+  if (sim_->in_task()) {
+    sim_->Advance(MetaCostNs(n));
+  }
+  PersistBarrier();
+}
+
+void SlowMemory::PersistBarrier() {
+  barriers_++;
+  if (barrier_hook_) {
+    barrier_hook_(barriers_);
+  }
+}
+
+uint64_t SlowMemory::RegisterInflightWrite(uint64_t dst_off, size_t n) {
+  if (!crash_tracking_) {
+    return 0;
+  }
+  Inflight entry;
+  entry.dst_off = dst_off;
+  entry.n = n;
+  // Callers must register *before* performing the eager memcpy so the undo
+  // snapshot preserves the pre-write contents.
+  entry.undo.resize(n);
+  std::memcpy(entry.undo.data(), data_.data() + dst_off, n);
+  const uint64_t token = next_token_++;
+  inflight_.emplace(token, std::move(entry));
+  return token;
+}
+
+void SlowMemory::SetInflightFlow(uint64_t token, sim::FlowResource* res,
+                                 sim::FlowResource::FlowId flow) {
+  if (token == 0) {
+    return;
+  }
+  auto it = inflight_.find(token);
+  assert(it != inflight_.end());
+  it->second.res = res;
+  it->second.flow = flow;
+}
+
+void SlowMemory::CompleteInflightWrite(uint64_t token) {
+  if (token == 0) {
+    return;
+  }
+  inflight_.erase(token);
+}
+
+std::vector<std::byte> SlowMemory::CrashImage() const {
+  std::vector<std::byte> image = data_;
+  for (const auto& [token, entry] : inflight_) {
+    double progress = 0.0;
+    if (entry.res != nullptr) {
+      progress = entry.res->Progress(entry.flow);
+    }
+    // Durable prefix in whole cachelines; the rest rolls back.
+    const size_t durable =
+        (static_cast<size_t>(progress * static_cast<double>(entry.n)) / 64) *
+        64;
+    if (durable < entry.n) {
+      std::memcpy(image.data() + entry.dst_off + durable,
+                  entry.undo.data() + durable, entry.n - durable);
+    }
+  }
+  return image;
+}
+
+void SlowMemory::LoadImage(const std::vector<std::byte>& image) {
+  assert(image.size() == data_.size());
+  data_ = image;
+}
+
+}  // namespace easyio::pmem

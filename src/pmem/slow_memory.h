@@ -1,0 +1,135 @@
+// SlowMemory: the simulated slow-memory device (Optane DCPMM array).
+//
+// A flat byte array plus two FlowResources (read and write direction) that
+// arbitrate bandwidth between concurrent CPU streams and DMA channels using
+// the calibration in MediaParams. Data movement is real — actual bytes land
+// in the array — but its *timing* is virtual, and writes are attributed
+// durability at their modeled completion.
+//
+// Crash-consistency support: persist barriers (fence boundaries) are counted
+// and exposed via a hook so the CrashMonkey-style harness can stop the
+// simulation at an exact barrier; in-flight write transfers are tracked with
+// undo snapshots so a crash image shows only the prefix that had durably
+// landed.
+
+#ifndef EASYIO_PMEM_SLOW_MEMORY_H_
+#define EASYIO_PMEM_SLOW_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/pmem/media_params.h"
+#include "src/sim/flow_resource.h"
+#include "src/sim/simulation.h"
+
+namespace easyio::pmem {
+
+class SlowMemory {
+ public:
+  SlowMemory(sim::Simulation* sim, const MediaParams& params, size_t size);
+
+  SlowMemory(const SlowMemory&) = delete;
+  SlowMemory& operator=(const SlowMemory&) = delete;
+
+  size_t size() const { return data_.size(); }
+  const MediaParams& params() const { return params_; }
+  sim::Simulation* simulation() const { return sim_; }
+
+  // Raw typed access to the persistent array (zero simulated cost; callers
+  // charge their own modeled costs).
+  template <typename T>
+  T* As(uint64_t offset) {
+    return reinterpret_cast<T*>(data_.data() + offset);
+  }
+  template <typename T>
+  const T* As(uint64_t offset) const {
+    return reinterpret_cast<const T*>(data_.data() + offset);
+  }
+  std::byte* raw() { return data_.data(); }
+
+  // ---- CPU data path (must be called from inside a task) ----
+  // Synchronous copies through load/store: the calling task's core is held
+  // busy for the whole (contention-dependent) duration.
+  void CpuWrite(uint64_t dst_off, const void* src, size_t n);
+  void CpuRead(void* dst, uint64_t src_off, size_t n);
+
+  // ---- Metadata path ----
+  // Small persisted store (store + clwb + fence). Performs the real copy,
+  // charges the modeled latency, and marks a persist barrier.
+  void MetaWrite(uint64_t dst_off, const void* src, size_t n);
+  // Persist already-written bytes (for in-place structure updates).
+  void MetaPersist(uint64_t dst_off, size_t n);
+  uint64_t MetaCostNs(size_t n) const;
+
+  // Marks a legal crash point (everything modeled-durable before it survives,
+  // nothing after).
+  void PersistBarrier();
+  uint64_t barrier_count() const { return barriers_; }
+  // Hook fired after each barrier with its index (1-based); the crash harness
+  // uses it to stop the run at a chosen barrier.
+  void set_barrier_hook(std::function<void(uint64_t)> hook) {
+    barrier_hook_ = std::move(hook);
+  }
+
+  // ---- Flow plumbing (used by the DMA engine and CpuWrite/CpuRead) ----
+  sim::FlowResource& read_flows() { return *read_flows_; }
+  sim::FlowResource& write_flows() { return *write_flows_; }
+
+  // ---- Crash tracking ----
+  // When enabled, every write transfer snapshots the destination so a crash
+  // image can be produced with only the completed prefix applied.
+  void EnableCrashTracking() { crash_tracking_ = true; }
+  bool crash_tracking() const { return crash_tracking_; }
+
+  // Registers an in-flight write of `n` bytes at `dst_off` whose real memcpy
+  // has already been performed eagerly. Returns a token (0 if tracking off).
+  uint64_t RegisterInflightWrite(uint64_t dst_off, size_t n);
+  // Associates the flow so progress can be queried at crash time.
+  void SetInflightFlow(uint64_t token, sim::FlowResource* res,
+                       sim::FlowResource::FlowId flow);
+  void CompleteInflightWrite(uint64_t token);
+
+  // Produces the post-crash device image: current contents with every
+  // in-flight write rolled back to its completed prefix (64B granularity).
+  std::vector<std::byte> CrashImage() const;
+
+  // Overwrites the device contents (used to mount a recovered image).
+  void LoadImage(const std::vector<std::byte>& image);
+
+ private:
+  double ReadDerate() const;
+  double WriteDerate() const;
+  void CrossPoke(sim::FlowResource* target, double* last_util,
+                 sim::FlowResource* source, double source_total);
+
+  struct Inflight {
+    uint64_t dst_off;
+    size_t n;
+    std::vector<std::byte> undo;
+    sim::FlowResource* res = nullptr;
+    sim::FlowResource::FlowId flow = 0;
+  };
+
+  sim::Simulation* sim_;
+  MediaParams params_;
+  std::vector<std::byte> data_;
+  std::unique_ptr<sim::FlowResource> read_flows_;
+  std::unique_ptr<sim::FlowResource> write_flows_;
+  uint64_t barriers_ = 0;
+  std::function<void(uint64_t)> barrier_hook_;
+  bool crash_tracking_ = false;
+  uint64_t next_token_ = 1;
+  std::unordered_map<uint64_t, Inflight> inflight_;
+  double read_poke_util_ = 0;
+  double write_poke_util_ = 0;
+  bool poke_pending_ = false;
+};
+
+}  // namespace easyio::pmem
+
+#endif  // EASYIO_PMEM_SLOW_MEMORY_H_

@@ -1,0 +1,131 @@
+#include "src/sim/context.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace easyio::sim {
+
+#if defined(EASYIO_UCONTEXT)
+
+namespace {
+// ucontext's makecontext only forwards int arguments portably; stash the
+// (entry, arg) pair and fetch it from the trampoline. The simulation is
+// single-threaded so a single slot is sufficient (MakeContext and the first
+// switch never interleave).
+ContextEntry g_pending_entry;
+void* g_pending_arg;
+
+void UcontextTrampoline() {
+  ContextEntry entry = g_pending_entry;
+  void* arg = g_pending_arg;
+  entry(arg);
+  std::fprintf(stderr, "easyio: context entry function returned\n");
+  std::abort();
+}
+}  // namespace
+
+void MakeContext(Context* ctx, void* stack_base, size_t stack_size,
+                 ContextEntry entry, void* arg) {
+  getcontext(&ctx->uc);
+  ctx->uc.uc_stack.ss_sp = stack_base;
+  ctx->uc.uc_stack.ss_size = stack_size;
+  ctx->uc.uc_link = nullptr;
+  g_pending_entry = entry;
+  g_pending_arg = arg;
+  makecontext(&ctx->uc, UcontextTrampoline, 0);
+}
+
+void SwapContext(Context* from, Context* to) {
+  swapcontext(&from->uc, &to->uc);
+}
+
+#elif defined(__x86_64__)
+
+// Register layout pushed onto the coroutine stack by easyio_ctx_swap, from
+// low to high address: r15 r14 r13 r12 rbx rbp rip.
+//
+// easyio_ctx_swap(from, to):
+//   pushes callee-saved registers, stores rsp into from->sp, loads to->sp,
+//   pops the registers back and returns into the target context.
+//
+// easyio_ctx_entry is the first "return address" of a fresh context. At that
+// point r12 holds the user argument and r13 holds the entry function (both
+// planted by MakeContext); rsp is 16-byte aligned so the subsequent call
+// leaves the callee with the ABI-required rsp%16==8 at entry.
+asm(R"(
+  .text
+  .globl easyio_ctx_swap
+  .type easyio_ctx_swap, @function
+  .align 16
+easyio_ctx_swap:
+  pushq %rbp
+  pushq %rbx
+  pushq %r12
+  pushq %r13
+  pushq %r14
+  pushq %r15
+  movq %rsp, (%rdi)
+  movq (%rsi), %rsp
+  popq %r15
+  popq %r14
+  popq %r13
+  popq %r12
+  popq %rbx
+  popq %rbp
+  retq
+  .size easyio_ctx_swap, .-easyio_ctx_swap
+
+  .globl easyio_ctx_entry
+  .type easyio_ctx_entry, @function
+  .align 16
+easyio_ctx_entry:
+  movq %r12, %rdi
+  callq *%r13
+  callq easyio_ctx_abort
+  .size easyio_ctx_entry, .-easyio_ctx_entry
+
+  .section .note.GNU-stack,"",@progbits
+  .text
+)");
+
+extern "C" void easyio_ctx_swap(Context* from, Context* to);
+
+extern "C" void easyio_ctx_abort() {
+  std::fprintf(stderr, "easyio: context entry function returned\n");
+  std::abort();
+}
+
+void MakeContext(Context* ctx, void* stack_base, size_t stack_size,
+                 ContextEntry entry, void* arg) {
+  // Highest usable address, 16-byte aligned.
+  auto top = reinterpret_cast<uintptr_t>(stack_base) + stack_size;
+  top &= ~uintptr_t{15};
+
+  // Frame (top-down): [entry rip] then the six register slots popped by
+  // easyio_ctx_swap. Seven 8-byte slots => after the pops and ret, rsp == top,
+  // which keeps the 16-byte alignment easyio_ctx_entry relies on.
+  auto* frame = reinterpret_cast<uint64_t*>(top) - 7;
+  frame[0] = 0;  // r15
+  frame[1] = 0;  // r14
+  frame[2] = reinterpret_cast<uint64_t>(entry);  // r13
+  frame[3] = reinterpret_cast<uint64_t>(arg);    // r12
+  frame[4] = 0;  // rbx
+  frame[5] = 0;  // rbp
+  frame[6] = reinterpret_cast<uint64_t>(
+      reinterpret_cast<void*>(+[]() {}));  // placeholder, overwritten below
+
+  // The "return address" the first swap's retq jumps to.
+  extern void easyio_ctx_entry_decl() asm("easyio_ctx_entry");
+  frame[6] = reinterpret_cast<uint64_t>(&easyio_ctx_entry_decl);
+
+  ctx->sp = frame;
+}
+
+void SwapContext(Context* from, Context* to) { easyio_ctx_swap(from, to); }
+
+#else
+#error "Unsupported architecture: build with -DEASYIO_USE_UCONTEXT=ON"
+#endif
+
+}  // namespace easyio::sim

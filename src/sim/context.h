@@ -1,0 +1,50 @@
+// Minimal stackful-coroutine context switching.
+//
+// The simulator multiplexes every simulated core's uthreads onto the single
+// host thread, so a context is just a saved stack pointer plus the
+// callee-saved registers spilled onto that stack (boost::fcontext style). The
+// x86-64 System V fast path is ~20ns per switch; a portable ucontext fallback
+// is selectable with -DEASYIO_USE_UCONTEXT for other architectures.
+//
+// Only the simulation kernel touches this API; everything above it uses
+// sim::Task.
+
+#ifndef EASYIO_SIM_CONTEXT_H_
+#define EASYIO_SIM_CONTEXT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(EASYIO_UCONTEXT)
+#include <ucontext.h>
+#endif
+
+namespace easyio::sim {
+
+#if defined(EASYIO_UCONTEXT)
+
+struct Context {
+  ucontext_t uc;
+};
+
+#else
+
+struct Context {
+  void* sp = nullptr;  // saved stack pointer; register area lives on the stack
+};
+
+#endif
+
+using ContextEntry = void (*)(void* arg);
+
+// Prepares `ctx` so the first SwapContext into it calls entry(arg) on the
+// given stack. The stack grows down; `stack_base` is the lowest address.
+void MakeContext(Context* ctx, void* stack_base, size_t stack_size,
+                 ContextEntry entry, void* arg);
+
+// Saves the current context into `from` and resumes `to`.
+void SwapContext(Context* from, Context* to);
+
+}  // namespace easyio::sim
+
+#endif  // EASYIO_SIM_CONTEXT_H_

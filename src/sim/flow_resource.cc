@@ -1,0 +1,203 @@
+#include "src/sim/flow_resource.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace easyio::sim {
+
+namespace {
+constexpr double kDoneEpsilonBytes = 0.5;
+
+double GbpsToBps(double gbps) { return gbps * kGiB; }
+}  // namespace
+
+FlowResource::FlowResource(Simulation* sim, std::string name,
+                           CapacityModel model)
+    : sim_(sim), name_(std::move(name)), model_(std::move(model)),
+      last_settle_(sim->now()) {}
+
+FlowResource::FlowId FlowResource::StartFlow(uint64_t bytes,
+                                             double per_flow_cap_gbps,
+                                             FlowType type, DoneFn done) {
+  Settle();
+  const FlowId id = next_id_++;
+  Flow flow;
+  flow.id = id;
+  flow.type = type;
+  flow.bytes_total = static_cast<double>(bytes);
+  flow.bytes_left = static_cast<double>(bytes);
+  flow.cap_gbps = per_flow_cap_gbps;
+  flow.done = std::move(done);
+  flows_.emplace(id, std::move(flow));
+  (type == FlowType::kCpu ? cpu_flows_ : dma_flows_)++;
+  Recompute();
+  return id;
+}
+
+double FlowResource::Progress(FlowId id) const {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) {
+    return 1.0;
+  }
+  const Flow& f = it->second;
+  if (f.bytes_total <= 0) {
+    return 1.0;
+  }
+  const double elapsed_s =
+      static_cast<double>(sim_->now() - last_settle_) / 1e9;
+  const double left = std::max(0.0, f.bytes_left - f.rate_bps * elapsed_s);
+  return std::clamp(1.0 - left / f.bytes_total, 0.0, 1.0);
+}
+
+double FlowResource::CancelFlow(FlowId id) {
+  Settle();
+  auto it = flows_.find(id);
+  if (it == flows_.end()) {
+    return 1.0;
+  }
+  const Flow& f = it->second;
+  const double progress =
+      f.bytes_total <= 0
+          ? 1.0
+          : std::clamp(1.0 - f.bytes_left / f.bytes_total, 0.0, 1.0);
+  bytes_completed_ +=
+      static_cast<uint64_t>(f.bytes_total - std::max(0.0, f.bytes_left));
+  (f.type == FlowType::kCpu ? cpu_flows_ : dma_flows_)--;
+  flows_.erase(it);
+  Recompute();
+  return progress;
+}
+
+void FlowResource::Settle() {
+  const SimTime now = sim_->now();
+  if (now == last_settle_) {
+    return;
+  }
+  const double elapsed_s = static_cast<double>(now - last_settle_) / 1e9;
+  for (auto& [id, flow] : flows_) {
+    flow.bytes_left = std::max(0.0, flow.bytes_left - flow.rate_bps * elapsed_s);
+  }
+  last_settle_ = now;
+}
+
+void FlowResource::MaxMin(std::map<FlowId, Flow>& flows, FlowType type,
+                          double aggregate_gbps, double* sum_rate_bps) {
+  // Water-filling in ascending per-flow-cap order.
+  std::vector<Flow*> group;
+  for (auto& [id, flow] : flows) {
+    if (flow.type == type) {
+      group.push_back(&flow);
+    }
+  }
+  *sum_rate_bps = 0;
+  if (group.empty()) {
+    return;
+  }
+  std::stable_sort(group.begin(), group.end(), [](const Flow* a, const Flow* b) {
+    return a->cap_gbps < b->cap_gbps;
+  });
+  double remaining = GbpsToBps(std::max(0.0, aggregate_gbps));
+  size_t left = group.size();
+  for (Flow* flow : group) {
+    const double share = remaining / static_cast<double>(left);
+    const double rate = std::min(GbpsToBps(flow->cap_gbps), share);
+    flow->rate_bps = rate;
+    remaining -= rate;
+    left--;
+    *sum_rate_bps += rate;
+  }
+}
+
+void FlowResource::Recompute() {
+  if (in_recompute_) {
+    return;  // a completion callback re-entered; the outer call finishes up
+  }
+  if (pending_event_ != 0) {
+    sim_->Cancel(pending_event_);
+    pending_event_ = 0;
+  }
+  if (flows_.empty()) {
+    if (total_rate_bps_ != 0) {
+      total_rate_bps_ = 0;
+      if (rates_changed_hook_) {
+        rates_changed_hook_();
+      }
+    }
+    return;
+  }
+
+  double cpu_sum = 0;
+  double dma_sum = 0;
+  MaxMin(flows_, FlowType::kCpu,
+         model_.cpu_aggregate ? model_.cpu_aggregate(cpu_flows_) : model_.total,
+         &cpu_sum);
+  MaxMin(flows_, FlowType::kDma,
+         model_.dma_aggregate ? model_.dma_aggregate(dma_flows_) : model_.total,
+         &dma_sum);
+  const double total_bps = GbpsToBps(model_.total);
+  double rate_sum = cpu_sum + dma_sum;
+  if (rate_sum > total_bps && rate_sum > 0) {
+    const double scale = total_bps / rate_sum;
+    for (auto& [id, flow] : flows_) {
+      flow.rate_bps *= scale;
+    }
+    rate_sum = total_bps;
+  }
+  if (rate_sum != total_rate_bps_) {
+    total_rate_bps_ = rate_sum;
+    if (rates_changed_hook_) {
+      rates_changed_hook_();
+    }
+  }
+
+  // Schedule the earliest completion.
+  double min_dt_ns = -1;
+  for (auto& [id, flow] : flows_) {
+    if (flow.bytes_left <= kDoneEpsilonBytes) {
+      min_dt_ns = 0;
+      break;
+    }
+    if (flow.rate_bps <= 0) {
+      continue;  // throttled to zero; no progress until rates change
+    }
+    const double dt_ns = flow.bytes_left / flow.rate_bps * 1e9;
+    if (min_dt_ns < 0 || dt_ns < min_dt_ns) {
+      min_dt_ns = dt_ns;
+    }
+  }
+  if (min_dt_ns < 0) {
+    return;  // everything stalled
+  }
+  const uint64_t delay =
+      std::max<uint64_t>(min_dt_ns <= 0 ? 0 : 1,
+                         static_cast<uint64_t>(std::ceil(min_dt_ns)));
+  pending_event_ = sim_->ScheduleAfter(delay, [this] {
+    pending_event_ = 0;
+    Settle();
+    // Collect and remove all flows that just finished, then recompute before
+    // running callbacks (callbacks may start new flows).
+    std::vector<DoneFn> done;
+    for (auto it = flows_.begin(); it != flows_.end();) {
+      if (it->second.bytes_left <= kDoneEpsilonBytes) {
+        bytes_completed_ += static_cast<uint64_t>(it->second.bytes_total);
+        (it->second.type == FlowType::kCpu ? cpu_flows_ : dma_flows_)--;
+        done.push_back(std::move(it->second.done));
+        it = flows_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    Recompute();
+    for (DoneFn& fn : done) {
+      if (fn) {
+        fn();
+      }
+    }
+  });
+}
+
+}  // namespace easyio::sim

@@ -1,0 +1,358 @@
+#include "src/sim/simulation.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace easyio::sim {
+
+namespace {
+// Stack of live simulations; supports nested simulations in tests.
+std::vector<Simulation*> g_sim_stack;
+}  // namespace
+
+Simulation::Simulation(const Options& options)
+    : cores_(static_cast<size_t>(options.num_cores)),
+      stack_size_(options.stack_size) {
+  assert(options.num_cores >= 1);
+  g_sim_stack.push_back(this);
+}
+
+Simulation::~Simulation() {
+  for (std::byte* stack : stack_pool_) {
+    delete[] stack;
+  }
+  for (auto& [id, task] : tasks_) {
+    if (task->stack_ != nullptr) {
+      delete[] task->stack_;
+      task->stack_ = nullptr;
+    }
+  }
+  std::erase(g_sim_stack, this);
+}
+
+Simulation* Simulation::Get() {
+  assert(!g_sim_stack.empty() && "no live Simulation");
+  return g_sim_stack.back();
+}
+
+// ---------------------------------------------------------------- events ----
+
+EventId Simulation::ScheduleAt(SimTime t, EventFn fn) {
+  assert(t >= now_);
+  const EventId id = next_event_id_++;
+  events_.push(Event{t, id});
+  event_fns_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Simulation::ScheduleAfter(uint64_t delay_ns, EventFn fn) {
+  return ScheduleAt(now_ + delay_ns, std::move(fn));
+}
+
+void Simulation::Cancel(EventId id) {
+  if (event_fns_.erase(id) > 0) {
+    cancelled_.insert(id);
+  }
+}
+
+void Simulation::RunUntil(SimTime limit) {
+  assert(!in_task() && "RunUntil called from inside a task");
+  running_loop_ = true;
+  while (!events_.empty() && !stop_requested_) {
+    const Event ev = events_.top();
+    if (ev.time > limit) {
+      break;
+    }
+    events_.pop();
+    if (cancelled_.erase(ev.id) > 0) {
+      continue;
+    }
+    auto it = event_fns_.find(ev.id);
+    if (it == event_fns_.end()) {
+      continue;  // cancelled
+    }
+    EventFn fn = std::move(it->second);
+    event_fns_.erase(it);
+    assert(ev.time >= now_);
+    now_ = ev.time;
+    fn();
+  }
+  if (now_ < limit && limit != kSimTimeMax) {
+    now_ = limit;
+  }
+  running_loop_ = false;
+}
+
+void Simulation::Run() { RunUntil(kSimTimeMax); }
+
+// ----------------------------------------------------------------- tasks ----
+
+std::byte* Simulation::AllocStack() {
+  if (!stack_pool_.empty()) {
+    std::byte* stack = stack_pool_.back();
+    stack_pool_.pop_back();
+    return stack;
+  }
+  return new std::byte[stack_size_];
+}
+
+void Simulation::RecycleStack(std::byte* stack) {
+  stack_pool_.push_back(stack);
+}
+
+Task* Simulation::CreateTask(int core, std::function<void()> fn,
+                             bool detached) {
+  assert(core >= 0 && core < num_cores());
+  auto task = std::unique_ptr<Task>(
+      new Task(next_task_id_++, core, std::move(fn)));
+  task->owner_ = this;
+  task->detached_ = detached;
+  task->stack_ = AllocStack();
+  MakeContext(&task->ctx_, task->stack_, stack_size_, &Simulation::TaskEntry,
+              task.get());
+  Task* raw = task.get();
+  tasks_.emplace(raw->id(), std::move(task));
+  cores_[core].run_queue.push_back(raw);
+  KickCore(core);
+  NotifyEnqueue(core);
+  return raw;
+}
+
+void Simulation::NotifyEnqueue(int core) {
+  if (cores_[core].running == nullptr) {
+    return;  // the core itself will pick the task up
+  }
+  if (auto it = core_enqueue_hooks_.find(core);
+      it != core_enqueue_hooks_.end()) {
+    it->second(core);
+  }
+}
+
+Task* Simulation::Spawn(int core, std::function<void()> fn) {
+  return CreateTask(core, std::move(fn), /*detached=*/false);
+}
+
+Task* Simulation::SpawnDetached(int core, std::function<void()> fn) {
+  return CreateTask(core, std::move(fn), /*detached=*/true);
+}
+
+void Simulation::TaskEntry(void* arg) {
+  Task* t = static_cast<Task*>(arg);
+  t->fn_();
+  t->owner_->FinishCurrent();
+  // Unreachable: FinishCurrent switches away permanently.
+}
+
+void Simulation::MarkCoreBusy(Core& core, Task* t) {
+  if (core.running == nullptr) {
+    core.busy_since = now_;
+  }
+  core.running = t;
+}
+
+void Simulation::MarkCoreIdle(Core& core) {
+  if (core.running != nullptr) {
+    core.busy_ns += now_ - core.busy_since;
+    core.running = nullptr;
+  }
+}
+
+SimTime Simulation::core_busy_ns(int core) const {
+  const Core& c = cores_[core];
+  SimTime busy = c.busy_ns;
+  if (c.running != nullptr) {
+    busy += now_ - c.busy_since;
+  }
+  return busy;
+}
+
+void Simulation::KickCore(int core) {
+  Core& c = cores_[core];
+  if (c.running != nullptr || c.kick_pending) {
+    return;
+  }
+  c.kick_pending = true;
+  ScheduleAt(now_, [this, core] {
+    Core& c = cores_[core];
+    c.kick_pending = false;
+    if (c.running != nullptr) {
+      return;
+    }
+    if (auto it = core_poll_hooks_.find(core); it != core_poll_hooks_.end()) {
+      it->second(core);
+    }
+    if (c.running != nullptr) {
+      return;  // poll hook resumed a core-holding task
+    }
+    Task* next = nullptr;
+    if (!c.run_queue.empty()) {
+      next = c.run_queue.front();
+      c.run_queue.pop_front();
+    } else if (auto it = core_steal_hooks_.find(core);
+               it != core_steal_hooks_.end()) {
+      next = it->second(core);
+      if (next != nullptr) {
+        next->core_ = core;
+      }
+    }
+    if (next != nullptr) {
+      DispatchTask(next);
+      // Work is still queued behind a now-busy core: let the scheduling
+      // layer prod idle siblings to steal it.
+      if (!c.run_queue.empty()) {
+        NotifyEnqueue(core);
+      }
+    }
+  });
+}
+
+Task* Simulation::TryStealFrom(int victim) {
+  Core& c = cores_[victim];
+  if (c.run_queue.empty()) {
+    return nullptr;
+  }
+  Task* t = c.run_queue.back();
+  c.run_queue.pop_back();
+  return t;
+}
+
+void Simulation::DispatchTask(Task* t) {
+  assert(t->state_ == Task::State::kRunnable ||
+         t->state_ == Task::State::kRunning);
+  Core& core = cores_[t->core_];
+  assert(core.running == nullptr || core.running == t);
+  t->state_ = Task::State::kRunning;
+  t->holds_core_ = false;
+  MarkCoreBusy(core, t);
+  current_ = t;
+  context_switches_++;
+  SwapContext(&host_ctx_, &t->ctx_);
+  current_ = nullptr;
+  HandleDirective(t);
+}
+
+void Simulation::HandleDirective(Task* t) {
+  const Directive d = directive_;
+  directive_ = Directive::kNone;
+  Core& core = cores_[t->core_];
+  switch (d) {
+    case Directive::kAdvance: {
+      // Core stays busy; resume the same task after the delay.
+      ScheduleAfter(advance_ns_, [this, t] {
+        assert(t->state_ == Task::State::kRunning);
+        DispatchTask(t);
+      });
+      break;
+    }
+    case Directive::kYield: {
+      t->state_ = Task::State::kRunnable;
+      core.run_queue.push_back(t);
+      MarkCoreIdle(core);
+      KickCore(t->core_);
+      break;
+    }
+    case Directive::kBlock: {
+      t->state_ = Task::State::kBlocked;
+      MarkCoreIdle(core);
+      KickCore(t->core_);
+      break;
+    }
+    case Directive::kBlockHoldingCore: {
+      t->state_ = Task::State::kBlocked;
+      t->holds_core_ = true;
+      // core.running stays == t: the core is busy-waiting on hardware.
+      break;
+    }
+    case Directive::kFinish: {
+      t->state_ = Task::State::kFinished;
+      for (Task* joiner : t->joiners_) {
+        Wake(joiner);
+      }
+      t->joiners_.clear();
+      t->fn_ = nullptr;  // release any captured workload state
+      RecycleStack(t->stack_);
+      t->stack_ = nullptr;
+      MarkCoreIdle(core);
+      KickCore(t->core_);
+      if (t->detached_) {
+        tasks_.erase(t->id_);  // nobody may reference a detached task
+      }
+      break;
+    }
+    case Directive::kNone:
+      assert(false && "task switched out without a directive");
+      break;
+  }
+}
+
+void Simulation::SwitchOut(Directive d) {
+  assert(in_task());
+  directive_ = d;
+  Task* t = current_;
+  SwapContext(&t->ctx_, &host_ctx_);
+}
+
+void Simulation::Advance(uint64_t ns) {
+  if (ns == 0) {
+    return;
+  }
+  advance_ns_ = ns;
+  SwitchOut(Directive::kAdvance);
+}
+
+void Simulation::Yield() { SwitchOut(Directive::kYield); }
+
+void Simulation::Block() { SwitchOut(Directive::kBlock); }
+
+void Simulation::BlockHoldingCore() {
+  SwitchOut(Directive::kBlockHoldingCore);
+}
+
+void Simulation::Wake(Task* t) { WakeOn(t, t->core_); }
+
+void Simulation::WakeOn(Task* t, int core) {
+  assert(t->state_ == Task::State::kBlocked);
+  if (t->holds_core_) {
+    // The task still owns its core (synchronous hardware wait): resume it
+    // directly; it cannot migrate.
+    assert(core == t->core_);
+    ScheduleAt(now_, [this, t] {
+      assert(t->holds_core_ && cores_[t->core_].running == t);
+      t->state_ = Task::State::kRunnable;
+      DispatchTask(t);
+    });
+    return;
+  }
+  t->state_ = Task::State::kRunnable;
+  t->core_ = core;
+  cores_[core].run_queue.push_back(t);
+  KickCore(core);
+  NotifyEnqueue(core);
+}
+
+void Simulation::Join(Task* t) {
+  assert(in_task());
+  assert(!t->detached_ && "cannot join a detached task");
+  if (t->finished()) {
+    return;
+  }
+  t->joiners_.push_back(current_);
+  Block();
+}
+
+void Simulation::SleepFor(uint64_t ns) {
+  assert(in_task());
+  Task* t = current_;
+  ScheduleAfter(ns, [this, t] { Wake(t); });
+  Block();
+}
+
+void Simulation::FinishCurrent() {
+  SwitchOut(Directive::kFinish);
+  // A finished task is never resumed.
+  std::fprintf(stderr, "easyio: finished task resumed\n");
+  std::abort();
+}
+
+}  // namespace easyio::sim

@@ -1,0 +1,204 @@
+// The discrete-event simulation kernel.
+//
+// One host thread multiplexes N simulated cores. Each core runs at most one
+// Task at a time; a Task gives up the host thread whenever it performs a
+// modeled operation:
+//
+//   Advance(ns)  - the core is busy for `ns` of virtual time (CPU work,
+//                  memcpy to slow memory, syscall overhead, ...). Other
+//                  actors' events (DMA completions, timers) interleave at
+//                  their exact virtual times.
+//   Yield()      - cooperative reschedule: go to the back of the core's run
+//                  queue (EasyIO's thread_yield on async-I/O return).
+//   Block()      - park until another actor calls Wake(). Used by locks,
+//                  SN waits and flow completions.
+//   BlockHoldingCore() - park while *keeping the core busy*: models a
+//                  synchronous CPU copy whose duration is decided by the
+//                  bandwidth arbiter. No other uthread can use the core,
+//                  which is exactly the CPU waste the paper measures.
+//
+// Plain events (ScheduleAt/ScheduleAfter) run on the host context and model
+// hardware: DMA channel progress, epoch timers, flow-rate recomputation.
+//
+// Determinism: events fire in (time, sequence) order; no wall-clock time or
+// host threading is involved anywhere.
+
+#ifndef EASYIO_SIM_SIMULATION_H_
+#define EASYIO_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/context.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace easyio::sim {
+
+using EventFn = std::function<void()>;
+using EventId = uint64_t;
+
+class Simulation {
+ public:
+  struct Options {
+    int num_cores = 1;
+    size_t stack_size = 256 * 1024;
+  };
+
+  explicit Simulation(const Options& options);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  // The most recently constructed, still-alive simulation. Convenience for
+  // deeply nested code (modeled primitives) that would otherwise thread the
+  // pointer everywhere.
+  static Simulation* Get();
+
+  SimTime now() const { return now_; }
+  int num_cores() const { return static_cast<int>(cores_.size()); }
+
+  // ---- Event scheduling (callable from anywhere) ----
+  EventId ScheduleAt(SimTime t, EventFn fn);
+  EventId ScheduleAfter(uint64_t delay_ns, EventFn fn);
+  void Cancel(EventId id);
+
+  // ---- Task management ----
+  // Spawns a task on `core`, runnable at the current time. The returned
+  // pointer stays valid until the simulation is destroyed (or, for detached
+  // tasks, until the task finishes).
+  Task* Spawn(int core, std::function<void()> fn);
+  Task* SpawnDetached(int core, std::function<void()> fn);
+
+  // Moves a Blocked task to the runnable state (on `core` if given, else its
+  // home core) and kicks the core.
+  void Wake(Task* t);
+  void WakeOn(Task* t, int core);
+
+  // ---- Run loop (host side; must not be called from inside a task) ----
+  void Run();                    // until the event queue drains
+  void RunUntil(SimTime t);      // process events with time <= t
+  void RunFor(uint64_t dur_ns) { RunUntil(now_ + dur_ns); }
+  void RequestStop() { stop_requested_ = true; }
+  bool stop_requested() const { return stop_requested_; }
+
+  // ---- Task-side primitives (must be called from inside a task) ----
+  Task* current() const { return current_; }
+  bool in_task() const { return current_ != nullptr; }
+  void Advance(uint64_t ns);
+  void Yield();
+  void Block();
+  void BlockHoldingCore();
+  void Join(Task* t);
+  // Sleeps the current task for `ns` without occupying the core.
+  void SleepFor(uint64_t ns);
+
+  // ---- Scheduler-layer hooks (per core, so multiple runtimes can own
+  // disjoint core sets, as Caladan does across colocated applications) ----
+  // The poll hook runs every time a core is about to pick its next task (the
+  // uthread runtime polls DMA completion buffers here). The steal hook is
+  // consulted when the run queue is empty; it may return a task stolen from
+  // another core.
+  void SetPollHook(int core, std::function<void(int)> hook) {
+    core_poll_hooks_[core] = std::move(hook);
+  }
+  void SetStealHook(int core, std::function<Task*(int)> hook) {
+    core_steal_hooks_[core] = std::move(hook);
+  }
+
+  // The enqueue hook fires when a task is queued on `core` while the core is
+  // already busy — the work-stealing runtime uses it to kick idle siblings.
+  void SetEnqueueHook(int core, std::function<void(int)> hook) {
+    core_enqueue_hooks_[core] = std::move(hook);
+  }
+
+  // Removes and returns the task at the back of `victim`'s run queue (oldest
+  // waiter is at the front; stealing from the back mirrors Caladan), or
+  // nullptr if the queue is empty. The caller re-homes the task.
+  Task* TryStealFrom(int victim);
+
+  // Schedules a dispatch attempt on `core` (it will consult the poll and
+  // steal hooks). Public so scheduling layers can prod idle cores.
+  void Kick(int core) { KickCore(core); }
+
+  // ---- Introspection ----
+  size_t run_queue_depth(int core) const {
+    return cores_[core].run_queue.size();
+  }
+  bool core_busy(int core) const {
+    return cores_[core].running != nullptr;
+  }
+  SimTime core_busy_ns(int core) const;
+  uint64_t tasks_spawned() const { return next_task_id_; }
+  uint64_t context_switches() const { return context_switches_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    EventId id;
+    // Heap orders by earliest time, then lowest id (FIFO among ties).
+    bool operator>(const Event& other) const {
+      return time != other.time ? time > other.time : id > other.id;
+    }
+  };
+
+  struct Core {
+    std::deque<Task*> run_queue;
+    Task* running = nullptr;
+    bool kick_pending = false;
+    SimTime busy_ns = 0;
+    SimTime busy_since = 0;
+  };
+
+  enum class Directive { kNone, kAdvance, kYield, kBlock, kBlockHoldingCore, kFinish };
+
+  static void TaskEntry(void* arg);
+
+  void KickCore(int core);
+  void NotifyEnqueue(int core);
+  void DispatchTask(Task* t);      // switch into t, then act on its directive
+  void HandleDirective(Task* t);
+  void FinishCurrent();            // task side; never returns
+  void MarkCoreBusy(Core& core, Task* t);
+  void MarkCoreIdle(Core& core);
+  std::byte* AllocStack();
+  void RecycleStack(std::byte* stack);
+  Task* CreateTask(int core, std::function<void()> fn, bool detached);
+  void SwitchOut(Directive d);     // task side: record directive, swap to host
+
+  SimTime now_ = 0;
+  EventId next_event_id_ = 1;
+  uint64_t next_task_id_ = 1;
+  uint64_t context_switches_ = 0;
+  bool stop_requested_ = false;
+  bool running_loop_ = false;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  std::unordered_map<EventId, EventFn> event_fns_;
+  std::unordered_set<EventId> cancelled_;
+
+  std::vector<Core> cores_;
+  Context host_ctx_{};
+  Task* current_ = nullptr;
+  Directive directive_ = Directive::kNone;
+  uint64_t advance_ns_ = 0;
+
+  size_t stack_size_;
+  std::vector<std::byte*> stack_pool_;
+  std::unordered_map<uint64_t, std::unique_ptr<Task>> tasks_;
+
+  std::unordered_map<int, std::function<void(int)>> core_poll_hooks_;
+  std::unordered_map<int, std::function<Task*(int)>> core_steal_hooks_;
+  std::unordered_map<int, std::function<void(int)>> core_enqueue_hooks_;
+};
+
+}  // namespace easyio::sim
+
+#endif  // EASYIO_SIM_SIMULATION_H_

@@ -1,0 +1,69 @@
+// Task: a stackful coroutine scheduled on a simulated core.
+//
+// Tasks are the unit of execution for everything above the simulation kernel:
+// the Caladan-style uthreads of EasyIO, the one-thread-per-core workers of the
+// synchronous baselines, and OdinFS's delegation threads are all Tasks.
+
+#ifndef EASYIO_SIM_TASK_H_
+#define EASYIO_SIM_TASK_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/context.h"
+#include "src/sim/time.h"
+
+namespace easyio::sim {
+
+class Simulation;
+
+class Task {
+ public:
+  enum class State {
+    kRunnable,  // in a core's run queue
+    kRunning,   // owns a core (executing or mid-Advance)
+    kBlocked,   // parked, waiting for Wake
+    kFinished,
+  };
+
+  uint64_t id() const { return id_; }
+  int core() const { return core_; }
+  State state() const { return state_; }
+  bool finished() const { return state_ == State::kFinished; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // Opaque slot for the scheduling layer (uthread runtime) to attach per-task
+  // bookkeeping without the kernel knowing about it.
+  void* user_data() const { return user_data_; }
+  void set_user_data(void* p) { user_data_ = p; }
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+ private:
+  friend class Simulation;
+
+  Task(uint64_t id, int core, std::function<void()> fn)
+      : id_(id), core_(core), fn_(std::move(fn)) {}
+
+  uint64_t id_;
+  int core_;  // home core; may change via work stealing (WakeOn)
+  Simulation* owner_ = nullptr;
+  std::function<void()> fn_;
+  Context ctx_{};
+  std::byte* stack_ = nullptr;  // owned by the simulation's stack pool
+  State state_ = State::kRunnable;
+  bool detached_ = false;
+  bool holds_core_ = false;  // blocked but still occupying the core (sync I/O)
+  std::vector<Task*> joiners_;
+  void* user_data_ = nullptr;
+  std::string name_;
+};
+
+}  // namespace easyio::sim
+
+#endif  // EASYIO_SIM_TASK_H_

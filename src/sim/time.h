@@ -1,0 +1,21 @@
+// Virtual time for the discrete-event simulation.
+//
+// All "hardware" in this repository (simulated cores, the DMA engine, the
+// slow-memory media) advances a single virtual clock measured in nanoseconds.
+// Wall-clock time never leaks into measurements, which is what makes the
+// paper's 1-16 core sweeps reproducible on a single-core build host.
+
+#ifndef EASYIO_SIM_TIME_H_
+#define EASYIO_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace easyio::sim {
+
+using SimTime = uint64_t;  // nanoseconds since simulation start
+
+inline constexpr SimTime kSimTimeMax = UINT64_MAX;
+
+}  // namespace easyio::sim
+
+#endif  // EASYIO_SIM_TIME_H_

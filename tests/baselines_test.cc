@@ -1,0 +1,177 @@
+// Tests of the NOVA-DMA and OdinFS comparison systems.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/harness/testbed.h"
+
+namespace easyio::baselines {
+namespace {
+
+using harness::FsKind;
+using harness::Testbed;
+using harness::TestbedConfig;
+
+std::vector<std::byte> Pattern(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::byte> buf(n);
+  for (auto& b : buf) {
+    b = static_cast<std::byte>(rng.Next());
+  }
+  return buf;
+}
+
+TestbedConfig Config(FsKind kind) {
+  TestbedConfig cfg;
+  cfg.fs = kind;
+  cfg.machine_cores = 36;
+  cfg.device_bytes = 256_MB;
+  return cfg;
+}
+
+TEST(NovaDmaFsTest, RoundTripAndDurability) {
+  Testbed tb(Config(FsKind::kNovaDma));
+  auto data = Pattern(100_KB, 1);
+  tb.sim().Spawn(0, [&] {
+    int fd = *tb.fs().Create("/a");
+    ASSERT_TRUE(tb.fs().Write(fd, 0, data).ok());
+    std::vector<std::byte> back(100_KB);
+    ASSERT_TRUE(tb.fs().Read(fd, 0, back).ok());
+    EXPECT_EQ(back, data);
+  });
+  tb.sim().Run();
+}
+
+TEST(NovaDmaFsTest, SynchronousInterfaceHoldsCore) {
+  Testbed tb(Config(FsKind::kNovaDma));
+  sim::SimTime other_ran_at = sim::kSimTimeMax;
+  sim::SimTime write_done_at = 0;
+  tb.sim().Spawn(0, [&] {
+    int fd = *tb.fs().Create("/a");
+    auto data = Pattern(64_KB, 2);
+    ASSERT_TRUE(tb.fs().Write(fd, 0, data).ok());
+    write_done_at = tb.sim().now();
+  });
+  tb.sim().Spawn(0, [&] { other_ran_at = tb.sim().now(); });
+  tb.sim().Run();
+  // Busy-polling the DMA: no other task ran on the core meanwhile.
+  EXPECT_GE(other_ran_at, write_done_at);
+}
+
+TEST(NovaDmaFsTest, LargeWriteFasterThanCpuNova) {
+  auto wall = [](FsKind kind) {
+    Testbed tb(Config(kind));
+    tb.sim().Spawn(0, [&] {
+      int fd = *tb.fs().Create("/a");
+      auto data = Pattern(64_KB, 3);
+      for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(tb.fs().Write(fd, 0, data).ok());
+      }
+    });
+    tb.sim().Run();
+    return tb.sim().now();
+  };
+  // Fig 8: DMA offload shortens single-thread 64K write latency.
+  EXPECT_LT(wall(FsKind::kNovaDma), wall(FsKind::kNova));
+}
+
+TEST(DelegationPoolTest, MovesDataInChunks) {
+  sim::Simulation sim({.num_cores = 6});
+  pmem::SlowMemory mem(&sim, pmem::MediaParams::TwoNode(), 64_MB);
+  DelegationPool pool(&sim, &mem, {.first_core = 2, .num_threads = 4});
+  pool.Start();
+  auto data = Pattern(256_KB, 4);
+  sim.Spawn(0, [&] {
+    pool.Move(/*to_pmem=*/true, 1_MB, data.data(), data.size());
+    EXPECT_EQ(std::memcmp(mem.raw() + 1_MB, data.data(), data.size()), 0);
+    std::vector<std::byte> back(256_KB);
+    pool.Move(/*to_pmem=*/false, 1_MB, back.data(), back.size());
+    EXPECT_EQ(back, data);
+  });
+  sim.Run();
+  EXPECT_EQ(pool.requests_processed(), 2 * 256_KB / 32_KB);
+}
+
+TEST(DelegationPoolTest, ParallelChunksBeatSingleStream) {
+  // One 1MB write through 8 delegation threads vs one CPU stream.
+  sim::Simulation sim({.num_cores = 10});
+  pmem::SlowMemory mem(&sim, pmem::MediaParams::TwoNode(), 64_MB);
+  DelegationPool pool(&sim, &mem, {.first_core = 2, .num_threads = 8});
+  pool.Start();
+  auto data = Pattern(1_MB, 5);
+  sim::SimTime delegated = 0;
+  sim.Spawn(0, [&] {
+    const sim::SimTime t0 = sim.now();
+    pool.Move(true, 1_MB, data.data(), data.size());
+    delegated = sim.now() - t0;
+  });
+  sim.Run();
+
+  sim::Simulation sim2({.num_cores = 1});
+  pmem::SlowMemory mem2(&sim2, pmem::MediaParams::TwoNode(), 64_MB);
+  sim::SimTime single = 0;
+  sim2.Spawn(0, [&] {
+    const sim::SimTime t0 = sim2.now();
+    mem2.CpuWrite(1_MB, data.data(), data.size());
+    single = sim2.now() - t0;
+  });
+  sim2.Run();
+  EXPECT_LT(delegated, single);
+}
+
+TEST(OdinFsTest, RoundTrip) {
+  Testbed tb(Config(FsKind::kOdin));
+  auto data = Pattern(300_KB, 6);
+  tb.sim().Spawn(0, [&] {
+    int fd = *tb.fs().Create("/a");
+    ASSERT_TRUE(tb.fs().Write(fd, 0, data).ok());
+    std::vector<std::byte> back(300_KB);
+    ASSERT_TRUE(tb.fs().Read(fd, 0, back).ok());
+    EXPECT_EQ(back, data);
+  });
+  tb.sim().Run();
+  EXPECT_GT(tb.delegation()->requests_processed(), 0u);
+}
+
+TEST(OdinFsTest, SmallIoSkipsDelegation) {
+  Testbed tb(Config(FsKind::kOdin));
+  tb.sim().Spawn(0, [&] {
+    int fd = *tb.fs().Create("/a");
+    auto data = Pattern(4_KB, 7);
+    ASSERT_TRUE(tb.fs().Write(fd, 0, data).ok());
+  });
+  tb.sim().Run();
+  EXPECT_EQ(tb.delegation()->requests_processed(), 0u);
+}
+
+TEST(OdinFsTest, ReservedCoresReduceWorkerBudget) {
+  Testbed tb(Config(FsKind::kOdin));
+  EXPECT_EQ(tb.max_worker_cores(), 12);  // 36 - 24 reserved (§6.1)
+}
+
+TEST(OdinFsTest, LargeIoLatencyBeatsNova) {
+  auto wall = [](FsKind kind) {
+    Testbed tb(Config(kind));
+    uint64_t total = 0;
+    tb.sim().Spawn(0, [&] {
+      int fd = *tb.fs().Create("/a");
+      auto data = Pattern(64_KB, 8);
+      for (int i = 0; i < 10; ++i) {
+        fs::OpStats st;
+        ASSERT_TRUE(tb.fs().Write(fd, 0, data, &st).ok());
+        total += st.total_ns;
+      }
+    });
+    tb.sim().Run();
+    return total;
+  };
+  // Fig 8: OdinFS shows better latency than NOVA for large I/Os.
+  EXPECT_LT(wall(FsKind::kOdin), wall(FsKind::kNova));
+}
+
+}  // namespace
+}  // namespace easyio::baselines

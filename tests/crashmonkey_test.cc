@@ -1,0 +1,181 @@
+// Crash-consistency tests: the CrashMonkey-style harness itself plus a
+// sampled run of each Table 2 workload.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/rng.h"
+#include "src/crashmonkey/crash_test.h"
+
+namespace easyio::crashmonkey {
+namespace {
+
+TEST(WorkloadBuilderTest, ModelTracksState) {
+  WorkloadBuilder b;
+  b.Create("/a");
+  b.Write("/a", 0, std::vector<std::byte>(100, std::byte{1}));
+  b.Link("/a", "/b");
+  b.Write("/b", 50, std::vector<std::byte>(100, std::byte{2}));
+  b.Rename("/b", "/c");
+  b.Unlink("/a");
+  auto ops = b.Build();
+  ASSERT_EQ(ops.size(), 6u);
+
+  ExpectedState st;
+  for (const auto& op : ops) {
+    op.model(st);
+  }
+  // Only /c remains; the hard link means the second write shows in it.
+  ASSERT_EQ(st.size(), 1u);
+  ASSERT_TRUE(st.contains("/c"));
+  EXPECT_EQ(st["/c"]->size(), 150u);
+  EXPECT_EQ((*st["/c"])[0], std::byte{1});
+  EXPECT_EQ((*st["/c"])[60], std::byte{2});
+}
+
+TEST(WorkloadBuilderTest, AppendExtends) {
+  WorkloadBuilder b;
+  b.Create("/x");
+  b.Append("/x", std::vector<std::byte>(10, std::byte{3}));
+  b.Append("/x", std::vector<std::byte>(20, std::byte{4}));
+  auto ops = b.Build();
+  ExpectedState st;
+  for (const auto& op : ops) {
+    op.model(st);
+  }
+  EXPECT_EQ(st["/x"]->size(), 30u);
+  EXPECT_EQ((*st["/x"])[15], std::byte{4});
+}
+
+TEST(StandardWorkloadsTest, FourWorkloadsWithOps) {
+  const auto workloads = StandardWorkloads(1);
+  ASSERT_EQ(workloads.size(), 4u);
+  EXPECT_EQ(workloads[0].name, "create_delete");
+  EXPECT_EQ(workloads[1].name, "generic_056");
+  EXPECT_EQ(workloads[2].name, "generic_090");
+  EXPECT_EQ(workloads[3].name, "generic_322");
+  for (const auto& w : workloads) {
+    EXPECT_GT(w.ops.size(), 10u) << w.name;
+  }
+}
+
+// Sampled crash tests (the full 1000-point sweep runs in the table2 bench).
+class CrashSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrashSweep, AllSampledPointsPass) {
+  const auto workloads = StandardWorkloads(42);
+  const auto& w = workloads[static_cast<size_t>(GetParam())];
+  const auto result = RunCrashTest(w, /*max_points=*/40);
+  EXPECT_GT(result.total_points, 0) << w.name;
+  EXPECT_EQ(result.passed, result.total_points) << w.name;
+  for (const auto& f : result.failures) {
+    ADD_FAILURE() << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, CrashSweep, ::testing::Values(0, 1, 2, 3),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return StandardWorkloads(42)[static_cast<size_t>(
+                                                            info.param)]
+                               .name;
+                         });
+
+TEST(CrashDuringGcTest, CompactionSwitchIsCrashAtomic) {
+  // Enough overwrites on one file to trigger log compaction (threshold
+  // lowered to 4 pages); crash points sampled across the whole run must
+  // all recover consistently — including points inside the GC's
+  // build-new-chain + journaled-switch window.
+  WorkloadBuilder b;
+  b.Create("/gc_hot");
+  Rng rng(77);
+  std::vector<std::byte> state(64 * 1024, std::byte{0});
+  b.Write("/gc_hot", 0, state);
+  for (int i = 0; i < 280; ++i) {
+    std::vector<std::byte> blk(8192, static_cast<std::byte>(rng.Next()));
+    b.Write("/gc_hot", rng.Below(8) * 8192, blk);
+  }
+  CrashWorkload w{"log_gc", "overwrite churn across a log compaction",
+                  b.Build()};
+
+  auto opts = DefaultCrashFsOptions();
+  opts.gc_min_pages = 4;
+  const auto result = RunCrashTest(w, /*max_points=*/50, opts);
+  EXPECT_GT(result.total_points, 0);
+  EXPECT_EQ(result.passed, result.total_points);
+  for (const auto& f : result.failures) {
+    ADD_FAILURE() << f;
+  }
+}
+
+// Property-style crash testing: randomized workloads (beyond the paper's
+// four fixed ones) must also recover consistently at every sampled point.
+class RandomCrashSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomCrashSweep, RandomWorkloadSurvivesCrashes) {
+  Rng rng(GetParam());
+  WorkloadBuilder b;
+  std::map<std::string, int> live;  // path -> size hint
+  std::vector<std::string> names;
+  for (int i = 0; i < 8; ++i) {
+    names.push_back("/r" + std::to_string(i));
+  }
+  for (int op = 0; op < 40; ++op) {
+    const std::string& path = names[rng.Below(names.size())];
+    const bool exists = live.contains(path);
+    switch (rng.Below(10)) {
+      case 0 ... 2:
+        if (!exists) {
+          b.Create(path);
+          live[path] = 0;
+        }
+        break;
+      case 3 ... 6:
+        if (exists) {
+          std::vector<std::byte> data(1 + rng.Below(40000));
+          for (auto& x : data) {
+            x = static_cast<std::byte>(rng.Next());
+          }
+          b.Write(path, rng.Below(16) * 4096, data);
+        }
+        break;
+      case 7:
+        if (exists) {
+          b.Unlink(path);
+          live.erase(path);
+        }
+        break;
+      case 8: {
+        const std::string& to = names[rng.Below(names.size())];
+        if (exists && !live.contains(to)) {
+          b.Link(path, to);
+          live[to] = 0;
+        }
+        break;
+      }
+      default: {
+        const std::string& to = names[rng.Below(names.size())];
+        if (exists && to != path && !live.contains(to)) {
+          b.Rename(path, to);
+          live[to] = live[path];
+          live.erase(path);
+        }
+        break;
+      }
+    }
+  }
+  CrashWorkload w{"random_" + std::to_string(GetParam()),
+                  "randomized op sequence", b.Build()};
+  const auto result = RunCrashTest(w, /*max_points=*/30);
+  EXPECT_GT(result.total_points, 0);
+  EXPECT_EQ(result.passed, result.total_points);
+  for (const auto& f : result.failures) {
+    ADD_FAILURE() << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCrashSweep,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+}  // namespace
+}  // namespace easyio::crashmonkey

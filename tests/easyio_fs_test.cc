@@ -1,0 +1,482 @@
+// Tests of EasyIO's core mechanisms: orderless commit, two-level locking,
+// selective offloading, asynchronous wait semantics, recovery with SN
+// discard, and the Naive (ordered) comparison build.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/harness/testbed.h"
+
+namespace easyio::core {
+namespace {
+
+using harness::FsKind;
+using harness::Testbed;
+using harness::TestbedConfig;
+
+TestbedConfig EasyConfig(size_t device = 256_MB) {
+  TestbedConfig cfg;
+  cfg.fs = FsKind::kEasy;
+  cfg.machine_cores = 8;
+  cfg.device_bytes = device;
+  return cfg;
+}
+
+std::vector<std::byte> Pattern(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::byte> buf(n);
+  for (auto& b : buf) {
+    b = static_cast<std::byte>(rng.Next());
+  }
+  return buf;
+}
+
+TEST(EasyIoFsTest, WriteReadRoundTripLargeIo) {
+  Testbed tb(EasyConfig());
+  tb.sim().Spawn(0, [&] {
+    int fd = *tb.fs().Create("/a");
+    auto data = Pattern(64_KB, 1);
+    ASSERT_TRUE(tb.fs().Write(fd, 0, data).ok());
+    std::vector<std::byte> back(64_KB);
+    ASSERT_TRUE(tb.fs().Read(fd, 0, back).ok());
+    EXPECT_EQ(back, data);
+  });
+  tb.sim().Run();
+  EXPECT_EQ(tb.easy()->writes_offloaded(), 1u);
+  EXPECT_EQ(tb.easy()->reads_offloaded(), 1u);
+}
+
+TEST(EasyIoFsTest, SmallIoUsesMemcpy) {
+  Testbed tb(EasyConfig());
+  tb.sim().Spawn(0, [&] {
+    int fd = *tb.fs().Create("/a");
+    auto data = Pattern(4_KB, 2);  // Listing 2: <= 4KB stays on the CPU
+    ASSERT_TRUE(tb.fs().Write(fd, 0, data).ok());
+    std::vector<std::byte> back(4_KB);
+    ASSERT_TRUE(tb.fs().Read(fd, 0, back).ok());
+    EXPECT_EQ(back, data);
+  });
+  tb.sim().Run();
+  EXPECT_EQ(tb.easy()->writes_memcpy(), 1u);
+  EXPECT_EQ(tb.easy()->writes_offloaded(), 0u);
+  EXPECT_EQ(tb.easy()->reads_memcpy(), 1u);
+}
+
+TEST(EasyIoFsTest, WriteReleasesCoreWhileDmaRuns) {
+  // The heart of the paper: during the DMA, the core runs another uthread.
+  Testbed tb(EasyConfig());
+  sim::SimTime other_ran_at = sim::kSimTimeMax;
+  sim::SimTime write_done_at = 0;
+  tb.sim().Spawn(0, [&] {
+    int fd = *tb.fs().Create("/a");
+    auto data = Pattern(64_KB, 3);
+    ASSERT_TRUE(tb.fs().Write(fd, 0, data).ok());
+    write_done_at = tb.sim().now();
+  });
+  tb.sim().Spawn(0, [&] { other_ran_at = tb.sim().now(); });
+  tb.sim().Run();
+  // The colocated uthread ran before the 64K write completed.
+  EXPECT_LT(other_ran_at, write_done_at);
+}
+
+TEST(EasyIoFsTest, SyncBaselineDoesNotReleaseCore) {
+  TestbedConfig cfg = EasyConfig();
+  cfg.fs = FsKind::kNova;
+  Testbed tb(cfg);
+  sim::SimTime other_ran_at = sim::kSimTimeMax;
+  sim::SimTime write_done_at = 0;
+  tb.sim().Spawn(0, [&] {
+    int fd = *tb.fs().Create("/a");
+    auto data = Pattern(64_KB, 3);
+    ASSERT_TRUE(tb.fs().Write(fd, 0, data).ok());
+    write_done_at = tb.sim().now();
+  });
+  tb.sim().Spawn(0, [&] { other_ran_at = tb.sim().now(); });
+  tb.sim().Run();
+  EXPECT_GE(other_ran_at, write_done_at);  // memcpy burned the core
+}
+
+TEST(EasyIoFsTest, OpStatsShowCpuSavings) {
+  Testbed tb(EasyConfig());
+  tb.sim().Spawn(0, [&] {
+    int fd = *tb.fs().Create("/a");
+    auto data = Pattern(64_KB, 4);
+    fs::OpStats w;
+    ASSERT_TRUE(tb.fs().Write(fd, 0, data, &w).ok());
+    EXPECT_GT(w.blocked_ns, 0u);
+    EXPECT_EQ(w.cpu_ns, w.total_ns - w.blocked_ns);
+    // §6.2: EasyIO-CPU is ~37% of a 64K write. Allow a loose band.
+    EXPECT_LT(w.cpu_ns, w.total_ns / 2);
+    EXPECT_GT(w.cpu_ns, w.total_ns / 6);
+
+    fs::OpStats r;
+    std::vector<std::byte> back(64_KB);
+    ASSERT_TRUE(tb.fs().Read(fd, 0, back, &r).ok());
+    EXPECT_GT(r.blocked_ns, 0u);
+    // §6.2 reports ~5% CPU for 64K reads on their (slower) DMA; our faster
+    // single-shot read makes the share larger — still a small fraction.
+    EXPECT_LT(r.cpu_ns, r.total_ns / 3);
+  });
+  tb.sim().Run();
+}
+
+TEST(EasyIoFsTest, TwoLevelLockWriteAfterWriteWaits) {
+  Testbed tb(EasyConfig());
+  sim::SimTime w2_start = 0;
+  sim::SimTime w2_done = 0;
+  sim::SimTime w1_commit = 0;
+  tb.sim().Spawn(0, [&] {
+    int fd = *tb.fs().Create("/a");
+    auto data = Pattern(256_KB, 5);
+    ASSERT_TRUE(tb.fs().Write(fd, 0, data).ok());
+  });
+  // Start the second write shortly after: it must find the lock free
+  // (released at commit) yet wait on the SN (level 2).
+  tb.sim().ScheduleAt(4_us, [&] {
+    tb.sim().Spawn(1, [&] {
+      w2_start = tb.sim().now();
+      int fd = *tb.fs().Open("/a");
+      auto data = Pattern(16_KB, 6);
+      fs::OpStats st;
+      ASSERT_TRUE(tb.fs().Write(fd, 0, data, &st).ok());
+      w2_done = tb.sim().now();
+      EXPECT_GT(st.blocked_ns, 0u);  // level-2 wait happened
+    });
+  });
+  tb.sim().Run();
+  (void)w1_commit;
+  EXPECT_EQ(w2_start, 4_us);
+  // 256K at ~6.8 GiB/s takes ~37us; the second write cannot finish before
+  // the first one's data landed.
+  EXPECT_GT(w2_done, 35_us);
+}
+
+TEST(EasyIoFsTest, WriteAfterReadProceedsImmediately) {
+  // Fig 7a: reads leave no SN behind; a later write need not wait for an
+  // in-flight read's DMA.
+  Testbed tb(EasyConfig());
+  sim::SimTime read_done = 0;
+  sim::SimTime write_done = 0;
+  tb.sim().Spawn(0, [&] {
+    int fd = *tb.fs().Create("/a");
+    auto data = Pattern(1_MB, 7);
+    ASSERT_TRUE(tb.fs().Write(fd, 0, data).ok());
+    ASSERT_TRUE(tb.fs().Fsync(fd).ok());
+
+    // Kick off a large DMA read...
+    tb.sim().Spawn(1, [&, fd] {
+      std::vector<std::byte> back(1_MB);
+      ASSERT_TRUE(tb.fs().Read(fd, 0, back).ok());
+      read_done = tb.sim().now();
+    });
+    // ...and a small write to the same file slightly later.
+    tb.sim().Spawn(2, [&, fd] {
+      auto patch = Pattern(16_KB, 8);
+      ASSERT_TRUE(tb.fs().Write(fd, 0, patch).ok());
+      write_done = tb.sim().now();
+    });
+  });
+  tb.sim().Run();
+  EXPECT_GT(read_done, 0u);
+  EXPECT_GT(write_done, 0u);
+  // The write did not wait for the ~150us read.
+  EXPECT_LT(write_done, read_done);
+}
+
+TEST(EasyIoFsTest, CowProtectsInflightReadFromOverwrite) {
+  // The overlapping write lands in new blocks and old blocks are
+  // deferred-freed, so the concurrent reader sees fully old data.
+  Testbed tb(EasyConfig());
+  auto old_data = Pattern(512_KB, 9);
+  auto new_data = Pattern(512_KB, 10);
+  std::vector<std::byte> read_back(512_KB);
+  tb.sim().Spawn(0, [&] {
+    int fd = *tb.fs().Create("/a");
+    ASSERT_TRUE(tb.fs().Write(fd, 0, old_data).ok());
+    ASSERT_TRUE(tb.fs().Fsync(fd).ok());
+    tb.sim().Spawn(1, [&, fd] {
+      ASSERT_TRUE(tb.fs().Read(fd, 0, read_back).ok());
+    });
+    tb.sim().Spawn(2, [&, fd] {
+      ASSERT_TRUE(tb.fs().Write(fd, 0, new_data).ok());
+    });
+  });
+  tb.sim().Run();
+  // The read started before the write commit (same instant but spawned
+  // first), so it must observe the old contents in full.
+  EXPECT_EQ(read_back, old_data);
+}
+
+TEST(EasyIoFsTest, FsyncWaitsForPendingWrite) {
+  Testbed tb(EasyConfig());
+  tb.sim().Spawn(0, [&] {
+    int fd = *tb.fs().Create("/a");
+    auto data = Pattern(1_MB, 11);
+    const sim::SimTime t0 = tb.sim().now();
+    ASSERT_TRUE(tb.fs().Write(fd, 0, data).ok());
+    ASSERT_TRUE(tb.fs().Fsync(fd).ok());
+    // 1MB at ~6.8 GiB/s: at least ~140us passed.
+    EXPECT_GT(tb.sim().now() - t0, 120_us);
+  });
+  tb.sim().Run();
+}
+
+TEST(EasyIoFsTest, NaiveModeIsOrderedAndSlower) {
+  auto run = [](FsKind kind) {
+    TestbedConfig cfg = EasyConfig();
+    cfg.fs = kind;
+    Testbed tb(cfg);
+    uint64_t total = 0;
+    tb.sim().Spawn(0, [&] {
+      int fd = *tb.fs().Create("/a");
+      auto data = Pattern(64_KB, 12);
+      for (int i = 0; i < 20; ++i) {
+        fs::OpStats st;
+        ASSERT_TRUE(tb.fs().Write(fd, 0, data, &st).ok());
+        total += st.total_ns;
+      }
+    });
+    tb.sim().Run();
+    return total / 20;
+  };
+  const uint64_t easy = run(FsKind::kEasy);
+  const uint64_t naive = run(FsKind::kEasyNaive);
+  // Fig 11: orderless is meaningfully faster (paper: ~18% avg, growing with
+  // I/O size).
+  EXPECT_LT(easy, naive);
+  EXPECT_GT(static_cast<double>(naive) / easy, 1.05);
+}
+
+TEST(EasyIoFsTest, RecoveryDiscardsIncompleteOrderlessWrite) {
+  // Crash with the metadata committed but the DMA unfinished: the write
+  // entry's SN exceeds the channel completion record, so mount must discard
+  // it and the file shows the old contents.
+  sim::Simulation sim({.num_cores = 2});
+  pmem::SlowMemory mem(&sim, pmem::MediaParams::TwoNode(), 256_MB);
+  mem.EnableCrashTracking();
+
+  nova::NovaFs::Options fs_opts;
+  EasyIoFs::EasyOptions easy_opts;
+  auto fs = std::make_unique<EasyIoFs>(&mem, fs_opts, easy_opts);
+  EASYIO_CHECK_OK(fs->Format());
+  auto engine = std::make_unique<dma::DmaEngine>(
+      &mem, fs->layout().comp_region_off, 16);
+  core::ChannelManager cm(&sim, engine.get(), {});
+  fs->AttachChannelManager(&cm);
+
+  auto old_data = Pattern(1_MB, 13);
+  auto new_data = Pattern(1_MB, 14);
+  bool first_done = false;
+  bool overwrite_done = false;
+  sim.Spawn(0, [&] {
+    int fd = *fs->Create("/f");
+    ASSERT_TRUE(fs->Write(fd, 0, old_data).ok());
+    ASSERT_TRUE(fs->Fsync(fd).ok());
+    first_done = true;
+    // Overwrite asynchronously; we will crash mid-DMA.
+    fs::OpStats st;
+    ASSERT_TRUE(fs->Write(fd, 0, new_data, &st).ok());
+    overwrite_done = true;
+  });
+  // The 1MB DMA takes ~150us; stop well inside the overwrite's transfer,
+  // after its metadata committed (~40us past the first write's completion).
+  sim.RunUntil(260_us);
+  ASSERT_TRUE(first_done);
+  ASSERT_FALSE(overwrite_done);  // still parked on WaitSn
+
+  auto image = mem.CrashImage();
+
+  // Mount a fresh incarnation on the crash image.
+  sim::Simulation sim2({.num_cores = 2});
+  pmem::SlowMemory mem2(&sim2, pmem::MediaParams::TwoNode(), 256_MB);
+  mem2.LoadImage(image);
+  auto fs2 = std::make_unique<EasyIoFs>(&mem2, fs_opts, easy_opts);
+  ASSERT_TRUE(fs2->Mount().ok());
+  EXPECT_GE(fs2->recovery_discarded_entries(), 1u);
+  auto engine2 = std::make_unique<dma::DmaEngine>(
+      &mem2, fs2->layout().comp_region_off, 16);
+  core::ChannelManager cm2(&sim2, engine2.get(), {});
+  fs2->AttachChannelManager(&cm2);
+
+  sim2.Spawn(0, [&] {
+    int fd = *fs2->Open("/f");
+    std::vector<std::byte> back(1_MB);
+    ASSERT_TRUE(fs2->Read(fd, 0, back).ok());
+    EXPECT_EQ(back, old_data);  // the incomplete overwrite was discarded
+  });
+  sim2.Run();
+}
+
+TEST(EasyIoFsTest, RecoveryKeepsCompletedOrderlessWrite) {
+  sim::Simulation sim({.num_cores = 2});
+  pmem::SlowMemory mem(&sim, pmem::MediaParams::TwoNode(), 256_MB);
+  nova::NovaFs::Options fs_opts;
+  EasyIoFs::EasyOptions easy_opts;
+  auto fs = std::make_unique<EasyIoFs>(&mem, fs_opts, easy_opts);
+  EASYIO_CHECK_OK(fs->Format());
+  auto engine = std::make_unique<dma::DmaEngine>(
+      &mem, fs->layout().comp_region_off, 16);
+  core::ChannelManager cm(&sim, engine.get(), {});
+  fs->AttachChannelManager(&cm);
+
+  auto data = Pattern(64_KB, 15);
+  sim.Spawn(0, [&] {
+    int fd = *fs->Create("/f");
+    ASSERT_TRUE(fs->Write(fd, 0, data).ok());
+  });
+  sim.Run();  // write fully completed
+
+  auto image = mem.CrashImage();
+  sim::Simulation sim2({.num_cores = 2});
+  pmem::SlowMemory mem2(&sim2, pmem::MediaParams::TwoNode(), 256_MB);
+  mem2.LoadImage(image);
+  auto fs2 = std::make_unique<EasyIoFs>(&mem2, fs_opts, easy_opts);
+  ASSERT_TRUE(fs2->Mount().ok());
+  EXPECT_EQ(fs2->recovery_discarded_entries(), 0u);
+  auto engine2 = std::make_unique<dma::DmaEngine>(
+      &mem2, fs2->layout().comp_region_off, 16);
+  core::ChannelManager cm2(&sim2, engine2.get(), {});
+  fs2->AttachChannelManager(&cm2);
+  sim2.Spawn(0, [&] {
+    int fd = *fs2->Open("/f");
+    std::vector<std::byte> back(64_KB);
+    ASSERT_TRUE(fs2->Read(fd, 0, back).ok());
+    EXPECT_EQ(back, data);
+  });
+  sim2.Run();
+}
+
+TEST(EasyIoFsTest, ManyUthreadsInterleaveOnFewCores) {
+  // 2 cores, 8 uthreads doing 64K writes to private files: asynchronous
+  // overlap should beat the serial sum by a wide margin.
+  Testbed tb(EasyConfig());
+  auto* sched = tb.MakeScheduler(2);
+  tb.sim().Spawn(0, [&] {
+    sched->RunWorkers(8, [&](int id) {
+      int fd = *tb.fs().Create("/w" + std::to_string(id));
+      auto data = Pattern(64_KB, 20 + static_cast<uint64_t>(id));
+      for (int k = 0; k < 5; ++k) {
+        ASSERT_TRUE(tb.fs().Write(fd, static_cast<uint64_t>(k) * 64_KB,
+                                  data).ok());
+      }
+    });
+  });
+  tb.sim().Run();
+  // 40 x 64K writes ~ 2.5MB; at the 4-L-channel aggregate (~12.7 GiB/s)
+  // that's ~190us minimum. Serial execution would be ~40 * ~12us CPU + waits.
+  // Mostly we assert it completed and used both cores.
+  EXPECT_GT(tb.sim().core_busy_ns(0), 0u);
+  EXPECT_GT(tb.sim().core_busy_ns(1), 0u);
+}
+
+TEST(ChannelManagerTest, PickWriteChannelBalancesDepth) {
+  Testbed tb(EasyConfig());
+  auto* cm = tb.channel_manager();
+  // All empty: returns some L channel; after loading channel 0, pick moves.
+  dma::Channel* first = cm->PickWriteChannel();
+  ASSERT_NE(first, nullptr);
+  tb.sim().Spawn(0, [&] {
+    std::vector<char> buf(64_KB, 'x');
+    dma::Descriptor d{dma::Descriptor::Dir::kWrite, 64_MB, buf.data(),
+                      64_KB, {}};
+    first->Submit(std::move(d));
+    dma::Channel* second = cm->PickWriteChannel();
+    EXPECT_NE(second, first);
+  });
+  tb.sim().Run();
+}
+
+TEST(ChannelManagerTest, ReadAdmissionRespectsDepthBound) {
+  Testbed tb(EasyConfig());
+  auto* cm = tb.channel_manager();
+  tb.sim().Spawn(0, [&] {
+    std::vector<char> buf(2_MB, 'x');
+    // Saturate every L channel past the bound.
+    std::vector<dma::Sn> last(
+        static_cast<size_t>(cm->options().num_l_channels));
+    for (int i = 0; i < cm->options().num_l_channels; ++i) {
+      for (int k = 0; k < 2; ++k) {
+        dma::Descriptor d{dma::Descriptor::Dir::kRead, 64_MB, buf.data(),
+                          2_MB, {}};
+        last[static_cast<size_t>(i)] =
+            tb.engine()->channel(i).Submit(std::move(d));
+      }
+    }
+    EXPECT_EQ(cm->PickReadChannel(), nullptr);  // shunt to memcpy
+    // Drain before `buf` goes out of scope: descriptors reference it.
+    for (int i = 0; i < cm->options().num_l_channels; ++i) {
+      tb.engine()->channel(i).WaitSn(last[static_cast<size_t>(i)]);
+    }
+  });
+  tb.sim().Run();
+}
+
+TEST(ChannelManagerTest, BulkWriteSplitsInto64K) {
+  Testbed tb(EasyConfig());
+  auto* cm = tb.channel_manager();
+  tb.sim().Spawn(0, [&] {
+    std::vector<std::byte> buf(2_MB, std::byte{0x42});
+    cm->BulkWriteAndWait(128_MB, buf.data(), buf.size());
+    EXPECT_EQ(std::memcmp(tb.mem().raw() + 128_MB, buf.data(), 2_MB), 0);
+  });
+  tb.sim().Run();
+  EXPECT_EQ(cm->b_channel()->descriptors_completed(), 2_MB / 64_KB);
+}
+
+TEST(ChannelManagerTest, ThrottlingCapsBandwidth) {
+  Testbed tb(EasyConfig());
+  auto* cm = tb.channel_manager();
+  // Drive the B channel continuously for 2ms with a 2 GiB/s limit.
+  cm->StartThrottling();
+  auto* lapp = cm->RegisterLApp(10_us);
+  // Keep the limit pinned: report latencies right at target so Listing 1
+  // neither raises nor lowers it beyond the initial value minus holds.
+  (void)lapp;
+  tb.sim().Spawn(0, [&] {
+    std::vector<std::byte> buf(2_MB, std::byte{0x1});
+    const sim::SimTime start = tb.sim().now();
+    while (tb.sim().now() - start < 2_ms) {
+      cm->BulkWriteAndWait(128_MB, buf.data(), buf.size());
+    }
+  });
+  tb.sim().RunUntil(2_ms);
+  const double gbps =
+      GibPerSec(cm->b_channel()->bytes_completed(),
+                tb.sim().now());
+  // Unthrottled the B channel would run at ~6.8 GiB/s; the default initial
+  // limit is 8 but Listing 1 with no L samples keeps it; set expectations
+  // loosely: it must not exceed the per-channel cap.
+  EXPECT_LT(gbps, 7.5);
+  cm->StopThrottling();
+}
+
+TEST(ChannelManagerTest, QosLoopThrottlesDownOnViolation) {
+  Testbed tb(EasyConfig());
+  auto* cm = tb.channel_manager();
+  auto* lapp = cm->RegisterLApp(/*target=*/10_us);
+  cm->StartThrottling();
+  const double limit0 = cm->b_limit_gbps();
+  // Report SLO violations every few microseconds for a while.
+  for (int i = 1; i <= 50; ++i) {
+    tb.sim().ScheduleAt(static_cast<sim::SimTime>(i) * 10_us,
+                        [lapp] { lapp->ReportLatency(50_us); });
+  }
+  tb.sim().RunUntil(600_us);
+  EXPECT_LT(cm->b_limit_gbps(), limit0);
+  // Now report ample headroom; the limit must climb back.
+  const double low = cm->b_limit_gbps();
+  for (int i = 1; i <= 50; ++i) {
+    tb.sim().ScheduleAt(600_us + static_cast<sim::SimTime>(i) * 10_us,
+                        [lapp] { lapp->ReportLatency(1_us); });
+  }
+  tb.sim().RunUntil(1400_us);
+  EXPECT_GT(cm->b_limit_gbps(), low);
+  cm->StopThrottling();
+}
+
+}  // namespace
+}  // namespace easyio::core

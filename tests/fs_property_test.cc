@@ -1,0 +1,258 @@
+// Differential property testing: drive long random operation sequences
+// against each filesystem and an in-memory reference model simultaneously,
+// checking full-state equivalence along the way and after a remount.
+// Parameterized over (filesystem kind x seed) — each instance is a distinct
+// randomized trajectory through creates, writes (aligned and unaligned,
+// small and DMA-sized), appends, reads, links, renames, unlinks and fsyncs.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/harness/testbed.h"
+#include "src/nova/nova_fs.h"
+
+namespace easyio {
+namespace {
+
+using harness::FsKind;
+
+// Reference model with hard-link aliasing.
+struct Model {
+  using Content = std::shared_ptr<std::vector<std::byte>>;
+  std::map<std::string, Content> files;
+
+  void Write(const std::string& p, uint64_t off,
+             const std::vector<std::byte>& data) {
+    auto& c = *files.at(p);
+    if (c.size() < off + data.size()) {
+      c.resize(off + data.size(), std::byte{0});
+    }
+    std::copy(data.begin(), data.end(), c.begin() + off);
+  }
+};
+
+class FsPropertyTest
+    : public ::testing::TestWithParam<std::tuple<FsKind, uint64_t>> {};
+
+TEST_P(FsPropertyTest, RandomOpsMatchModel) {
+  const auto [kind, seed] = GetParam();
+  harness::TestbedConfig cfg;
+  cfg.fs = kind;
+  cfg.machine_cores = 36;
+  cfg.device_bytes = 512_MB;
+  harness::Testbed tb(cfg);
+  auto& fs = tb.fs();
+
+  Model model;
+  Rng rng(seed);
+  constexpr int kFiles = 12;
+  constexpr int kOps = 300;
+
+  auto path_of = [](uint64_t i) { return "/p" + std::to_string(i % kFiles); };
+
+  bool done = false;
+  tb.sim().Spawn(0, [&] {
+    for (int op = 0; op < kOps; ++op) {
+      const std::string path = path_of(rng.Next());
+      const bool exists = model.files.contains(path);
+      switch (rng.Below(100)) {
+        case 0 ... 14: {  // create
+          auto fd = fs.Create(path);
+          if (exists) {
+            ASSERT_EQ(fd.status().code(), ErrorCode::kExists);
+          } else {
+            ASSERT_TRUE(fd.ok()) << "op " << op << " create " << path
+                                 << ": " << fd.status();
+            ASSERT_TRUE(fs.Close(*fd).ok());
+            model.files[path] =
+                std::make_shared<std::vector<std::byte>>();
+          }
+          break;
+        }
+        case 15 ... 44: {  // write (mixed sizes/alignment, incl. sparse)
+          if (!exists) {
+            continue;
+          }
+          const uint64_t size = model.files[path]->size();
+          const uint64_t off =
+              rng.Below(3) == 0 ? rng.Below(size + 100_KB)  // maybe sparse
+                                : rng.Below(size + 1);
+          size_t n;
+          switch (rng.Below(4)) {
+            case 0: n = 1 + rng.Below(4096); break;           // sub-page
+            case 1: n = 4096 * (1 + rng.Below(4)); break;     // aligned
+            case 2: n = 16_KB + rng.Below(48_KB); break;      // DMA-sized
+            default: n = 1 + rng.Below(300_KB); break;        // large
+          }
+          std::vector<std::byte> data(n);
+          for (auto& b : data) {
+            b = static_cast<std::byte>(rng.Next());
+          }
+          int fd = *fs.Open(path);
+          auto w = fs.Write(fd, off, data);
+          ASSERT_TRUE(w.ok()) << w.status();
+          ASSERT_EQ(*w, n);
+          ASSERT_TRUE(fs.Close(fd).ok());
+          model.Write(path, off, data);
+          break;
+        }
+        case 45 ... 54: {  // append
+          if (!exists) {
+            continue;
+          }
+          std::vector<std::byte> data(1 + rng.Below(20_KB));
+          for (auto& b : data) {
+            b = static_cast<std::byte>(rng.Next());
+          }
+          int fd = *fs.Open(path);
+          ASSERT_TRUE(fs.Append(fd, data).ok());
+          ASSERT_TRUE(fs.Close(fd).ok());
+          model.Write(path, model.files[path]->size(), data);
+          break;
+        }
+        case 55 ... 74: {  // read + compare a window
+          if (!exists) {
+            ASSERT_EQ(fs.Open(path).status().code(), ErrorCode::kNotFound);
+            continue;
+          }
+          const auto& want = *model.files[path];
+          int fd = *fs.Open(path);
+          ASSERT_EQ(fs.StatFd(fd)->size, want.size());
+          if (!want.empty()) {
+            const uint64_t off = rng.Below(want.size());
+            const size_t n = 1 + rng.Below(want.size() - off);
+            std::vector<std::byte> got(n);
+            auto r = fs.Read(fd, off, got);
+            ASSERT_TRUE(r.ok());
+            ASSERT_EQ(*r, n);
+            ASSERT_TRUE(std::equal(got.begin(), got.end(),
+                                   want.begin() + off))
+                << path << " window @" << off << "+" << n << " differs";
+          }
+          ASSERT_TRUE(fs.Close(fd).ok());
+          break;
+        }
+        case 75 ... 82: {  // unlink
+          auto st = fs.Unlink(path);
+          if (exists) {
+            ASSERT_TRUE(st.ok());
+            model.files.erase(path);
+          } else {
+            ASSERT_EQ(st.code(), ErrorCode::kNotFound);
+          }
+          break;
+        }
+        case 83 ... 89: {  // link
+          const std::string to = path_of(rng.Next());
+          auto st = fs.Link(path, to);
+          if (exists && !model.files.contains(to)) {
+            ASSERT_TRUE(st.ok());
+            model.files[to] = model.files[path];
+          } else {
+            ASSERT_FALSE(st.ok());
+          }
+          break;
+        }
+        case 90 ... 96: {  // rename
+          const std::string to = path_of(rng.Next());
+          auto st = fs.Rename(path, to);
+          if (!exists) {
+            ASSERT_EQ(st.code(), ErrorCode::kNotFound);
+          } else {
+            ASSERT_TRUE(st.ok()) << st;
+            // POSIX: renaming between two names of the same inode is a
+            // no-op (both names survive).
+            const bool same_inode = model.files.contains(to) &&
+                                    model.files[to] == model.files[path];
+            if (to != path && !same_inode) {
+              model.files[to] = model.files[path];
+              model.files.erase(path);
+            }
+          }
+          break;
+        }
+        default: {  // fsync
+          if (exists) {
+            int fd = *fs.Open(path);
+            ASSERT_TRUE(fs.Fsync(fd).ok());
+            ASSERT_TRUE(fs.Close(fd).ok());
+          }
+          break;
+        }
+      }
+    }
+
+    // Final full-state comparison.
+    for (int i = 0; i < kFiles; ++i) {
+      const std::string path = "/p" + std::to_string(i);
+      auto it = model.files.find(path);
+      auto fd = fs.Open(path);
+      if (it == model.files.end()) {
+        ASSERT_FALSE(fd.ok()) << path << " should not exist";
+        continue;
+      }
+      ASSERT_TRUE(fd.ok()) << path;
+      const auto& want = *it->second;
+      ASSERT_EQ(fs.StatFd(*fd)->size, want.size()) << path;
+      std::vector<std::byte> got(want.size());
+      if (!want.empty()) {
+        ASSERT_TRUE(fs.Read(*fd, 0, got).ok());
+        ASSERT_EQ(got, want) << path;
+      }
+      ASSERT_TRUE(fs.Close(*fd).ok());
+    }
+    done = true;
+  });
+  tb.sim().Run();
+  ASSERT_TRUE(done);
+
+  // Remount (for the NOVA-layout systems) and re-verify everything from the
+  // recovered on-media state.
+  nova::NovaFs fs2(&tb.mem(), cfg.fs_options);
+  ASSERT_TRUE(fs2.Mount().ok());
+  bool verified = false;
+  tb.sim().Spawn(0, [&] {
+    for (const auto& [path, want_ptr] : model.files) {
+      const auto& want = *want_ptr;
+      auto fd = fs2.Open(path);
+      ASSERT_TRUE(fd.ok()) << path << " lost across remount";
+      ASSERT_EQ(fs2.StatFd(*fd)->size, want.size()) << path;
+      std::vector<std::byte> got(want.size());
+      if (!want.empty()) {
+        ASSERT_TRUE(fs2.Read(*fd, 0, got).ok());
+        ASSERT_EQ(got, want) << path << " corrupted across remount";
+      }
+    }
+    verified = true;
+  });
+  tb.sim().Run();
+  ASSERT_TRUE(verified);
+}
+
+std::string ParamName(
+    const ::testing::TestParamInfo<std::tuple<FsKind, uint64_t>>& info) {
+  std::string name = harness::FsKindName(std::get<0>(info.param));
+  for (auto& ch : name) {
+    if (ch == '-') {
+      ch = '_';
+    }
+  }
+  return name + "_seed" + std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Differential, FsPropertyTest,
+    ::testing::Combine(::testing::Values(FsKind::kNova, FsKind::kNovaDma,
+                                         FsKind::kOdin, FsKind::kEasy,
+                                         FsKind::kEasyNaive),
+                       ::testing::Values(1u, 2u, 3u, 4u)),
+    ParamName);
+
+}  // namespace
+}  // namespace easyio

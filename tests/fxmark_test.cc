@@ -1,0 +1,93 @@
+// Tests of the FxMark harness: all three workloads produce sane results on
+// each filesystem, and the headline Fig 9 relationships hold at small scale.
+
+#include <gtest/gtest.h>
+
+#include "src/fxmark/fxmark.h"
+
+namespace easyio::fxmark {
+namespace {
+
+RunConfig Quick(harness::FsKind fs, Workload w, int cores) {
+  RunConfig cfg;
+  cfg.fs = fs;
+  cfg.workload = w;
+  cfg.cores = cores;
+  cfg.io_size = 16_KB;
+  cfg.uthreads_per_core = 2;
+  cfg.warmup_ns = 3_ms;
+  cfg.measure_ns = 20_ms;
+  return cfg;
+}
+
+TEST(FxmarkTest, DwalProducesThroughputAndLatency) {
+  const auto r = fxmark::Run(Quick(harness::FsKind::kNova, Workload::kDWAL, 2));
+  EXPECT_GT(r.ops, 100u);
+  EXPECT_GT(r.mops, 0.0);
+  EXPECT_GT(r.avg_latency_ns, 1000.0);
+  EXPECT_GE(r.p99_ns, static_cast<uint64_t>(r.avg_latency_ns * 0.8));
+  EXPECT_NEAR(r.gib_per_sec,
+              r.mops * 1e6 * 16_KB / kGiB, r.gib_per_sec * 0.01);
+}
+
+TEST(FxmarkTest, DrblReadsScaleWithCores) {
+  const auto r1 = fxmark::Run(Quick(harness::FsKind::kNova, Workload::kDRBL, 1));
+  const auto r4 = fxmark::Run(Quick(harness::FsKind::kNova, Workload::kDRBL, 4));
+  EXPECT_GT(r4.mops, r1.mops * 3.0);  // reads scale ~linearly at low counts
+}
+
+TEST(FxmarkTest, DwomSharedFileContends) {
+  const auto r1 = fxmark::Run(Quick(harness::FsKind::kNova, Workload::kDWOM, 1));
+  const auto r8 = fxmark::Run(Quick(harness::FsKind::kNova, Workload::kDWOM, 8));
+  // A shared file serializes writers: nowhere near 8x.
+  EXPECT_LT(r8.mops, r1.mops * 4.0);
+}
+
+TEST(FxmarkTest, EasyIoUsesFewerCoresForPeakWrites) {
+  auto sweep_easy = SweepCores(Quick(harness::FsKind::kEasy, Workload::kDWAL,
+                                     0),
+                               {1, 2, 4, 8, 12});
+  auto sweep_nova = SweepCores(Quick(harness::FsKind::kNova, Workload::kDWAL,
+                                     0),
+                               {1, 2, 4, 8, 12});
+  const int easy_cores = CoresAtPeak(sweep_easy, 0.95);
+  const int nova_cores = CoresAtPeak(sweep_nova, 0.95);
+  EXPECT_LT(easy_cores, nova_cores);  // the paper's headline claim
+  // And the peak itself is at least comparable.
+  double easy_peak = 0;
+  double nova_peak = 0;
+  for (const auto& p : sweep_easy) {
+    easy_peak = std::max(easy_peak, p.result.mops);
+  }
+  for (const auto& p : sweep_nova) {
+    nova_peak = std::max(nova_peak, p.result.mops);
+  }
+  EXPECT_GT(easy_peak, nova_peak * 0.95);
+}
+
+TEST(FxmarkTest, EasyIoWritesUseLessCpuPerOp) {
+  const auto nova = fxmark::Run(Quick(harness::FsKind::kNova, Workload::kDWAL, 2));
+  const auto easy = fxmark::Run(Quick(harness::FsKind::kEasy, Workload::kDWAL, 2));
+  EXPECT_LT(easy.avg_cpu_ns, nova.avg_cpu_ns * 0.75);
+}
+
+TEST(FxmarkTest, DeterministicAcrossRuns) {
+  const auto a = fxmark::Run(Quick(harness::FsKind::kEasy, Workload::kDWAL, 2));
+  const auto b = fxmark::Run(Quick(harness::FsKind::kEasy, Workload::kDWAL, 2));
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.p99_ns, b.p99_ns);
+}
+
+TEST(FxmarkTest, CoresAtPeakPicksMinimum) {
+  std::vector<CoreSweepPoint> sweep;
+  for (int c : {1, 2, 4, 8}) {
+    CoreSweepPoint p;
+    p.cores = c;
+    p.result.mops = c >= 4 ? 1.0 : 0.2 * c;
+    sweep.push_back(p);
+  }
+  EXPECT_EQ(CoresAtPeak(sweep, 0.95), 4);
+}
+
+}  // namespace
+}  // namespace easyio::fxmark

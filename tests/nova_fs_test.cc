@@ -1,0 +1,421 @@
+// End-to-end tests of the NOVA baseline filesystem (synchronous CPU mode):
+// namespace operations, data paths, CoW semantics, remount recovery.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/nova/nova_fs.h"
+#include "src/pmem/slow_memory.h"
+#include "src/sim/simulation.h"
+
+namespace easyio::nova {
+namespace {
+
+struct Fx {
+  sim::Simulation sim{{.num_cores = 4}};
+  pmem::SlowMemory mem;
+  NovaFs fs;
+
+  explicit Fx(size_t device = 64_MB)
+      : mem(&sim, pmem::MediaParams::OneNode(), device), fs(&mem, {}) {
+    EASYIO_CHECK_OK(fs.Format());
+  }
+
+  // Runs `fn` inside a task and drains the simulation.
+  void Run(std::function<void()> fn) {
+    sim.Spawn(0, std::move(fn));
+    sim.Run();
+  }
+};
+
+std::vector<std::byte> Pattern(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::byte> buf(n);
+  for (auto& b : buf) {
+    b = static_cast<std::byte>(rng.Next());
+  }
+  return buf;
+}
+
+TEST(NovaFsTest, CreateWriteReadBack) {
+  Fx fx;
+  fx.Run([&] {
+    auto fd = fx.fs.Create("/a");
+    ASSERT_TRUE(fd.ok());
+    auto data = Pattern(10000, 1);
+    auto w = fx.fs.Write(*fd, 0, data);
+    ASSERT_TRUE(w.ok());
+    EXPECT_EQ(*w, 10000u);
+    std::vector<std::byte> back(10000);
+    auto r = fx.fs.Read(*fd, 0, back);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, 10000u);
+    EXPECT_EQ(back, data);
+  });
+}
+
+TEST(NovaFsTest, OpenNonexistentFails) {
+  Fx fx;
+  fx.Run([&] {
+    EXPECT_EQ(fx.fs.Open("/missing").status().code(), ErrorCode::kNotFound);
+    EXPECT_EQ(fx.fs.Create("/x").status().code(), ErrorCode::kOk);
+    EXPECT_EQ(fx.fs.Create("/x").status().code(), ErrorCode::kExists);
+  });
+}
+
+TEST(NovaFsTest, ReadBeyondEofClamps) {
+  Fx fx;
+  fx.Run([&] {
+    int fd = *fx.fs.Create("/a");
+    auto data = Pattern(100, 2);
+    ASSERT_TRUE(fx.fs.Write(fd, 0, data).ok());
+    std::vector<std::byte> back(1000);
+    auto r = fx.fs.Read(fd, 50, back);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, 50u);
+    EXPECT_EQ(std::memcmp(back.data(), data.data() + 50, 50), 0);
+    auto past = fx.fs.Read(fd, 100, back);
+    ASSERT_TRUE(past.ok());
+    EXPECT_EQ(*past, 0u);
+  });
+}
+
+TEST(NovaFsTest, UnalignedOverwritePreservesNeighbors) {
+  Fx fx;
+  fx.Run([&] {
+    int fd = *fx.fs.Create("/a");
+    auto base = Pattern(12_KB, 3);
+    ASSERT_TRUE(fx.fs.Write(fd, 0, base).ok());
+    // Overwrite an unaligned interior window.
+    auto patch = Pattern(5000, 4);
+    ASSERT_TRUE(fx.fs.Write(fd, 3000, patch).ok());
+    std::vector<std::byte> expect = base;
+    std::memcpy(expect.data() + 3000, patch.data(), 5000);
+    std::vector<std::byte> back(12_KB);
+    ASSERT_TRUE(fx.fs.Read(fd, 0, back).ok());
+    EXPECT_EQ(back, expect);
+  });
+}
+
+TEST(NovaFsTest, SparseWriteReadsZerosInHole) {
+  Fx fx;
+  fx.Run([&] {
+    int fd = *fx.fs.Create("/a");
+    auto data = Pattern(4_KB, 5);
+    ASSERT_TRUE(fx.fs.Write(fd, 64_KB, data).ok());
+    EXPECT_EQ(fx.fs.StatFd(fd)->size, 64_KB + 4_KB);
+    std::vector<std::byte> back(8_KB);
+    ASSERT_TRUE(fx.fs.Read(fd, 32_KB, back).ok());
+    for (std::byte b : back) {
+      ASSERT_EQ(b, std::byte{0});
+    }
+  });
+}
+
+TEST(NovaFsTest, ExtendAfterUnalignedWriteReadsZeros) {
+  Fx fx;
+  fx.Run([&] {
+    int fd = *fx.fs.Create("/a");
+    auto d1 = Pattern(100, 6);
+    ASSERT_TRUE(fx.fs.Write(fd, 0, d1).ok());
+    auto d2 = Pattern(100, 7);
+    ASSERT_TRUE(fx.fs.Write(fd, 200, d2).ok());
+    std::vector<std::byte> back(300);
+    ASSERT_TRUE(fx.fs.Read(fd, 0, back).ok());
+    EXPECT_EQ(std::memcmp(back.data(), d1.data(), 100), 0);
+    for (size_t i = 100; i < 200; ++i) {
+      ASSERT_EQ(back[i], std::byte{0}) << i;  // gap must read as zero
+    }
+    EXPECT_EQ(std::memcmp(back.data() + 200, d2.data(), 100), 0);
+  });
+}
+
+TEST(NovaFsTest, AppendGrowsFile) {
+  Fx fx;
+  fx.Run([&] {
+    int fd = *fx.fs.Create("/log");
+    auto a = Pattern(3000, 8);
+    auto b = Pattern(3000, 9);
+    ASSERT_TRUE(fx.fs.Append(fd, a).ok());
+    ASSERT_TRUE(fx.fs.Append(fd, b).ok());
+    EXPECT_EQ(fx.fs.StatFd(fd)->size, 6000u);
+    std::vector<std::byte> back(6000);
+    ASSERT_TRUE(fx.fs.Read(fd, 0, back).ok());
+    EXPECT_EQ(std::memcmp(back.data(), a.data(), 3000), 0);
+    EXPECT_EQ(std::memcmp(back.data() + 3000, b.data(), 3000), 0);
+  });
+}
+
+TEST(NovaFsTest, MkdirAndNestedPaths) {
+  Fx fx;
+  fx.Run([&] {
+    ASSERT_TRUE(fx.fs.Mkdir("/d").ok());
+    ASSERT_TRUE(fx.fs.Mkdir("/d/e").ok());
+    int fd = *fx.fs.Create("/d/e/f");
+    auto data = Pattern(100, 10);
+    ASSERT_TRUE(fx.fs.Write(fd, 0, data).ok());
+    auto st = fx.fs.StatPath("/d/e/f");
+    ASSERT_TRUE(st.ok());
+    EXPECT_EQ(st->size, 100u);
+    EXPECT_FALSE(st->is_dir);
+    EXPECT_TRUE(fx.fs.StatPath("/d/e")->is_dir);
+    EXPECT_EQ(fx.fs.Mkdir("/missing/x").code(), ErrorCode::kNotFound);
+  });
+}
+
+TEST(NovaFsTest, UnlinkFreesSpace) {
+  Fx fx;
+  fx.Run([&] {
+    // First round warms the root directory's log page so the baseline below
+    // is stable.
+    int fd0 = *fx.fs.Create("/warmup");
+    ASSERT_TRUE(fx.fs.Close(fd0).ok());
+    ASSERT_TRUE(fx.fs.Unlink("/warmup").ok());
+
+    const uint64_t before = fx.fs.free_pages();
+    int fd = *fx.fs.Create("/big");
+    auto data = Pattern(1_MB, 11);
+    ASSERT_TRUE(fx.fs.Write(fd, 0, data).ok());
+    ASSERT_TRUE(fx.fs.Close(fd).ok());
+    EXPECT_LT(fx.fs.free_pages(), before);
+    ASSERT_TRUE(fx.fs.Unlink("/big").ok());
+    // All of the file's data and log pages come back (the root log page
+    // stays, as it should).
+    EXPECT_EQ(fx.fs.free_pages(), before);
+    EXPECT_EQ(fx.fs.Open("/big").status().code(), ErrorCode::kNotFound);
+  });
+}
+
+TEST(NovaFsTest, UnlinkOpenFileDefersFree) {
+  Fx fx;
+  fx.Run([&] {
+    int fd = *fx.fs.Create("/f");
+    auto data = Pattern(8_KB, 12);
+    ASSERT_TRUE(fx.fs.Write(fd, 0, data).ok());
+    ASSERT_TRUE(fx.fs.Unlink("/f").ok());
+    // Still readable through the open fd.
+    std::vector<std::byte> back(8_KB);
+    ASSERT_TRUE(fx.fs.Read(fd, 0, back).ok());
+    EXPECT_EQ(back, data);
+    ASSERT_TRUE(fx.fs.Close(fd).ok());
+    EXPECT_EQ(fx.fs.Open("/f").status().code(), ErrorCode::kNotFound);
+  });
+}
+
+TEST(NovaFsTest, RenameMovesAndReplacesAtomically) {
+  Fx fx;
+  fx.Run([&] {
+    int a = *fx.fs.Create("/a");
+    auto da = Pattern(100, 13);
+    ASSERT_TRUE(fx.fs.Write(a, 0, da).ok());
+    ASSERT_TRUE(fx.fs.Close(a).ok());
+    int b = *fx.fs.Create("/b");
+    auto db = Pattern(200, 14);
+    ASSERT_TRUE(fx.fs.Write(b, 0, db).ok());
+    ASSERT_TRUE(fx.fs.Close(b).ok());
+
+    ASSERT_TRUE(fx.fs.Rename("/a", "/b").ok());  // replaces /b
+    EXPECT_EQ(fx.fs.Open("/a").status().code(), ErrorCode::kNotFound);
+    auto st = fx.fs.StatPath("/b");
+    ASSERT_TRUE(st.ok());
+    EXPECT_EQ(st->size, 100u);
+
+    ASSERT_TRUE(fx.fs.Mkdir("/dir").ok());
+    ASSERT_TRUE(fx.fs.Rename("/b", "/dir/c").ok());
+    EXPECT_EQ(fx.fs.StatPath("/dir/c")->size, 100u);
+  });
+}
+
+TEST(NovaFsTest, HardLinksShareData) {
+  Fx fx;
+  fx.Run([&] {
+    int fd = *fx.fs.Create("/orig");
+    auto data = Pattern(5000, 15);
+    ASSERT_TRUE(fx.fs.Write(fd, 0, data).ok());
+    ASSERT_TRUE(fx.fs.Link("/orig", "/alias").ok());
+    EXPECT_EQ(fx.fs.StatPath("/orig")->nlink, 2u);
+    int fd2 = *fx.fs.Open("/alias");
+    std::vector<std::byte> back(5000);
+    ASSERT_TRUE(fx.fs.Read(fd2, 0, back).ok());
+    EXPECT_EQ(back, data);
+    // Unlink one name: data survives under the other.
+    ASSERT_TRUE(fx.fs.Unlink("/orig").ok());
+    EXPECT_EQ(fx.fs.StatPath("/alias")->nlink, 1u);
+    ASSERT_TRUE(fx.fs.Read(fd2, 0, back).ok());
+    EXPECT_EQ(back, data);
+  });
+}
+
+TEST(NovaFsTest, ManyFilesAndLogPageChaining) {
+  Fx fx;
+  fx.Run([&] {
+    // >63 dentries force the root log onto a second page.
+    for (int i = 0; i < 200; ++i) {
+      auto fd = fx.fs.Create("/f" + std::to_string(i));
+      ASSERT_TRUE(fd.ok()) << i;
+      ASSERT_TRUE(fx.fs.Close(*fd).ok());
+    }
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_TRUE(fx.fs.StatPath("/f" + std::to_string(i)).ok()) << i;
+    }
+  });
+}
+
+TEST(NovaFsTest, RemountRestoresEverything) {
+  sim::Simulation sim({.num_cores = 2});
+  pmem::SlowMemory mem(&sim, pmem::MediaParams::OneNode(), 64_MB);
+  auto data = Pattern(100_KB, 16);
+  {
+    NovaFs fs(&mem, {});
+    EASYIO_CHECK_OK(fs.Format());
+    sim.Spawn(0, [&] {
+      ASSERT_TRUE(fs.Mkdir("/d").ok());
+      int fd = *fs.Create("/d/file");
+      ASSERT_TRUE(fs.Write(fd, 0, data).ok());
+      ASSERT_TRUE(fs.Write(fd, 10_KB, std::span(data).subspan(0, 5_KB)).ok());
+      ASSERT_TRUE(fs.Close(fd).ok());
+      ASSERT_TRUE(fs.Link("/d/file", "/d/link").ok());
+      int fd2 = *fs.Create("/d/gone");
+      ASSERT_TRUE(fs.Close(fd2).ok());
+      ASSERT_TRUE(fs.Unlink("/d/gone").ok());
+    });
+    sim.Run();
+  }
+  // Second incarnation on the same device image.
+  NovaFs fs2(&mem, {});
+  ASSERT_TRUE(fs2.Mount().ok());
+  sim.Spawn(0, [&] {
+    auto st = fs2.StatPath("/d/file");
+    ASSERT_TRUE(st.ok());
+    EXPECT_EQ(st->size, 100_KB);
+    EXPECT_EQ(st->nlink, 2u);
+    EXPECT_EQ(fs2.StatPath("/d/gone").status().code(), ErrorCode::kNotFound);
+    int fd = *fs2.Open("/d/link");
+    std::vector<std::byte> expect = data;
+    std::memcpy(expect.data() + 10_KB, data.data(), 5_KB);
+    std::vector<std::byte> back(100_KB);
+    ASSERT_TRUE(fs2.Read(fd, 0, back).ok());
+    EXPECT_EQ(back, expect);
+  });
+  sim.Run();
+}
+
+TEST(NovaFsTest, RemountPreservesFreeSpaceAccounting) {
+  sim::Simulation sim({.num_cores = 1});
+  pmem::SlowMemory mem(&sim, pmem::MediaParams::OneNode(), 64_MB);
+  uint64_t free_before = 0;
+  {
+    NovaFs fs(&mem, {});
+    EASYIO_CHECK_OK(fs.Format());
+    sim.Spawn(0, [&] {
+      int fd = *fs.Create("/a");
+      auto data = Pattern(256_KB, 17);
+      ASSERT_TRUE(fs.Write(fd, 0, data).ok());
+      // Overwrite to exercise displaced-block free.
+      ASSERT_TRUE(fs.Write(fd, 0, data).ok());
+    });
+    sim.Run();
+    free_before = fs.free_pages();
+  }
+  NovaFs fs2(&mem, {});
+  ASSERT_TRUE(fs2.Mount().ok());
+  EXPECT_EQ(fs2.free_pages(), free_before);
+}
+
+TEST(NovaFsTest, MountGarbageFails) {
+  sim::Simulation sim({.num_cores = 1});
+  pmem::SlowMemory mem(&sim, pmem::MediaParams::OneNode(), 16_MB);
+  NovaFs fs(&mem, {});
+  EXPECT_EQ(fs.Mount().code(), ErrorCode::kCorruption);
+}
+
+TEST(NovaFsTest, ConcurrentWritersOnPrivateFiles) {
+  Fx fx;
+  std::vector<std::vector<std::byte>> datas;
+  for (int i = 0; i < 4; ++i) {
+    datas.push_back(Pattern(64_KB, 100 + static_cast<uint64_t>(i)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    fx.sim.Spawn(i, [&, i] {
+      int fd = *fx.fs.Create("/w" + std::to_string(i));
+      ASSERT_TRUE(fx.fs.Write(fd, 0, datas[static_cast<size_t>(i)]).ok());
+      std::vector<std::byte> back(64_KB);
+      ASSERT_TRUE(fx.fs.Read(fd, 0, back).ok());
+      EXPECT_EQ(back, datas[static_cast<size_t>(i)]);
+    });
+  }
+  fx.sim.Run();
+}
+
+TEST(NovaFsTest, SharedFileWritersSerialize) {
+  Fx fx;
+  fx.Run([&] {
+    int fd = *fx.fs.Create("/shared");
+    auto zero = Pattern(64_KB, 200);
+    ASSERT_TRUE(fx.fs.Write(fd, 0, zero).ok());
+  });
+  // 4 concurrent overwriters of disjoint 16K regions.
+  for (int i = 0; i < 4; ++i) {
+    fx.sim.Spawn(i, [&, i] {
+      int fd = *fx.fs.Open("/shared");
+      auto data = Pattern(16_KB, 300 + static_cast<uint64_t>(i));
+      ASSERT_TRUE(
+          fx.fs.Write(fd, static_cast<uint64_t>(i) * 16_KB, data).ok());
+      std::vector<std::byte> back(16_KB);
+      ASSERT_TRUE(
+          fx.fs.Read(fd, static_cast<uint64_t>(i) * 16_KB, back).ok());
+      EXPECT_EQ(back, data);
+    });
+  }
+  fx.sim.Run();
+}
+
+TEST(NovaFsTest, OpStatsBreakdownSums) {
+  Fx fx;
+  fx.Run([&] {
+    int fd = *fx.fs.Create("/a");
+    auto data = Pattern(64_KB, 18);
+    fs::OpStats st;
+    ASSERT_TRUE(fx.fs.Write(fd, 0, data, &st).ok());
+    EXPECT_GT(st.total_ns, 0u);
+    EXPECT_GT(st.syscall_ns, 0u);
+    EXPECT_GT(st.index_ns, 0u);
+    EXPECT_GT(st.meta_ns, 0u);
+    EXPECT_GT(st.data_ns, 0u);
+    // Synchronous mode: CPU time equals total and the categories cover most
+    // of the operation (locking is the only uncharged slice).
+    EXPECT_EQ(st.cpu_ns, st.total_ns);
+    EXPECT_GE(st.syscall_ns + st.index_ns + st.meta_ns + st.data_ns,
+              st.total_ns * 95 / 100);
+    // The paper's Fig 1: memcpy dominates 64K writes.
+    EXPECT_GT(st.data_ns, st.total_ns / 2);
+  });
+}
+
+TEST(NovaFsTest, BadFdRejected) {
+  Fx fx;
+  fx.Run([&] {
+    std::vector<std::byte> buf(10);
+    EXPECT_EQ(fx.fs.Read(99, 0, buf).status().code(), ErrorCode::kBadFd);
+    EXPECT_EQ(fx.fs.Write(99, 0, buf).status().code(), ErrorCode::kBadFd);
+    EXPECT_EQ(fx.fs.Close(99).code(), ErrorCode::kBadFd);
+    EXPECT_EQ(fx.fs.Fsync(99).code(), ErrorCode::kBadFd);
+  });
+}
+
+TEST(NovaFsTest, NameTooLongRejected) {
+  Fx fx;
+  fx.Run([&] {
+    const std::string long_name(kMaxNameLen + 1, 'x');
+    EXPECT_EQ(fx.fs.Create("/" + long_name).status().code(),
+              ErrorCode::kNameTooLong);
+  });
+}
+
+}  // namespace
+}  // namespace easyio::nova

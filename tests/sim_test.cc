@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/sim/simulation.h"
+
+namespace easyio::sim {
+namespace {
+
+Simulation::Options Opts(int cores) {
+  Simulation::Options o;
+  o.num_cores = cores;
+  return o;
+}
+
+TEST(SimulationTest, EventsFireInTimeOrder) {
+  Simulation sim(Opts(1));
+  std::vector<int> order;
+  sim.ScheduleAt(300, [&] { order.push_back(3); });
+  sim.ScheduleAt(100, [&] { order.push_back(1); });
+  sim.ScheduleAt(200, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 300u);
+}
+
+TEST(SimulationTest, TiesFireInScheduleOrder) {
+  Simulation sim(Opts(1));
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.ScheduleAt(50, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulationTest, CancelPreventsFiring) {
+  Simulation sim(Opts(1));
+  bool fired = false;
+  EventId id = sim.ScheduleAt(10, [&] { fired = true; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulationTest, RunUntilStopsAtBound) {
+  Simulation sim(Opts(1));
+  bool late = false;
+  sim.ScheduleAt(5_us, [&] { late = true; });
+  sim.RunUntil(1_us);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(sim.now(), 1_us);
+  sim.Run();
+  EXPECT_TRUE(late);
+}
+
+TEST(SimulationTest, TaskRunsAndAdvances) {
+  Simulation sim(Opts(1));
+  SimTime seen_start = 0;
+  SimTime seen_end = 0;
+  sim.Spawn(0, [&] {
+    seen_start = sim.now();
+    sim.Advance(500);
+    seen_end = sim.now();
+  });
+  sim.Run();
+  EXPECT_EQ(seen_start, 0u);
+  EXPECT_EQ(seen_end, 500u);
+}
+
+TEST(SimulationTest, AdvanceKeepsCoreBusy) {
+  Simulation sim(Opts(1));
+  bool second_ran_early = false;
+  sim.Spawn(0, [&] { sim.Advance(1000); });
+  sim.Spawn(0, [&] {
+    // Must not start before the first task's Advance completes.
+    second_ran_early = sim.now() < 1000;
+  });
+  sim.Run();
+  EXPECT_FALSE(second_ran_early);
+  EXPECT_EQ(sim.core_busy_ns(0), 1000u);
+}
+
+TEST(SimulationTest, TasksOnDifferentCoresRunConcurrently) {
+  Simulation sim(Opts(2));
+  SimTime end0 = 0;
+  SimTime end1 = 0;
+  sim.Spawn(0, [&] {
+    sim.Advance(1000);
+    end0 = sim.now();
+  });
+  sim.Spawn(1, [&] {
+    sim.Advance(1000);
+    end1 = sim.now();
+  });
+  sim.Run();
+  EXPECT_EQ(end0, 1000u);
+  EXPECT_EQ(end1, 1000u);  // parallel, not serialized
+}
+
+TEST(SimulationTest, YieldRotatesRunQueue) {
+  Simulation sim(Opts(1));
+  std::vector<int> order;
+  sim.Spawn(0, [&] {
+    order.push_back(1);
+    sim.Yield();
+    order.push_back(3);
+  });
+  sim.Spawn(0, [&] {
+    order.push_back(2);
+    sim.Yield();
+    order.push_back(4);
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(SimulationTest, BlockAndWake) {
+  Simulation sim(Opts(1));
+  Task* sleeper = nullptr;
+  SimTime woke_at = 0;
+  sleeper = sim.Spawn(0, [&] {
+    sim.Block();
+    woke_at = sim.now();
+  });
+  sim.ScheduleAt(2_us, [&] { sim.Wake(sleeper); });
+  sim.Run();
+  EXPECT_EQ(woke_at, 2_us);
+}
+
+TEST(SimulationTest, BlockHoldingCorePreventsOtherTasks) {
+  Simulation sim(Opts(1));
+  Task* holder = nullptr;
+  SimTime other_started = 0;
+  holder = sim.Spawn(0, [&] {
+    sim.BlockHoldingCore();  // e.g. synchronous memcpy in flight
+  });
+  sim.Spawn(0, [&] { other_started = sim.now(); });
+  sim.ScheduleAt(5_us, [&] { sim.Wake(holder); });
+  sim.Run();
+  // The second task cannot start until the holder released the core.
+  EXPECT_GE(other_started, 5_us);
+}
+
+TEST(SimulationTest, JoinWaitsForCompletion) {
+  Simulation sim(Opts(2));
+  SimTime join_done = 0;
+  Task* worker = sim.Spawn(1, [&] { sim.Advance(3_us); });
+  sim.Spawn(0, [&] {
+    sim.Join(worker);
+    join_done = sim.now();
+  });
+  sim.Run();
+  EXPECT_EQ(join_done, 3_us);
+  EXPECT_TRUE(worker->finished());
+}
+
+TEST(SimulationTest, JoinFinishedTaskReturnsImmediately) {
+  Simulation sim(Opts(1));
+  Task* worker = sim.Spawn(0, [] {});
+  SimTime join_time = kSimTimeMax;
+  sim.ScheduleAt(10_us, [&] {
+    sim.Spawn(0, [&] {
+      sim.Join(worker);
+      join_time = sim.now();
+    });
+  });
+  sim.Run();
+  EXPECT_EQ(join_time, 10_us);
+}
+
+TEST(SimulationTest, SleepForReleasesCore) {
+  Simulation sim(Opts(1));
+  SimTime other_ran_at = kSimTimeMax;
+  SimTime sleeper_woke = 0;
+  sim.Spawn(0, [&] {
+    sim.SleepFor(10_us);
+    sleeper_woke = sim.now();
+  });
+  sim.Spawn(0, [&] { other_ran_at = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(other_ran_at, 0u);  // ran while the first slept
+  EXPECT_EQ(sleeper_woke, 10_us);
+}
+
+TEST(SimulationTest, SpawnFromInsideTask) {
+  Simulation sim(Opts(1));
+  SimTime child_ran = kSimTimeMax;
+  sim.Spawn(0, [&] {
+    sim.Advance(1_us);
+    Task* child = sim.Spawn(0, [&] { child_ran = sim.now(); });
+    sim.Join(child);
+  });
+  sim.Run();
+  EXPECT_EQ(child_ran, 1_us);
+}
+
+TEST(SimulationTest, ManyTasksStressDeterminism) {
+  auto run_once = [] {
+    Simulation sim(Opts(4));
+    uint64_t checksum = 0;
+    for (int i = 0; i < 200; ++i) {
+      sim.Spawn(i % 4, [&sim, &checksum, i] {
+        for (int j = 0; j < 10; ++j) {
+          sim.Advance(static_cast<uint64_t>(17 * (i + 1) + j));
+          checksum = checksum * 31 + sim.now();
+          sim.Yield();
+        }
+      });
+    }
+    sim.Run();
+    return checksum;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SimulationTest, DetachedTaskIsReaped) {
+  Simulation sim(Opts(1));
+  int runs = 0;
+  for (int i = 0; i < 100; ++i) {
+    sim.SpawnDetached(0, [&] { runs++; });
+  }
+  sim.Run();
+  EXPECT_EQ(runs, 100);
+}
+
+TEST(SimulationTest, PollHookRunsBeforePick) {
+  Simulation sim(Opts(1));
+  int polls = 0;
+  sim.SetPollHook(0, [&](int core) { polls++; });
+  sim.Spawn(0, [&] { sim.Yield(); });
+  sim.Run();
+  EXPECT_GT(polls, 0);
+}
+
+TEST(SimulationTest, StealHookMovesWork) {
+  Simulation sim(Opts(2));
+  // Core 0 is kept busy by a long task with two more queued behind it;
+  // idle core 1 steals from core 0's run queue.
+  int ran_on_core1 = 0;
+  sim.SetStealHook(1, [&](int thief) { return sim.TryStealFrom(0); });
+  sim.SetEnqueueHook(0, [&](int) { sim.Kick(1); });
+  sim.Spawn(0, [&] { sim.Advance(100_us); });
+  for (int i = 0; i < 2; ++i) {
+    sim.Spawn(0, [&] {
+      if (sim.current()->core() == 1) {
+        ran_on_core1++;
+      }
+    });
+  }
+  sim.Run();
+  EXPECT_GE(ran_on_core1, 1);
+}
+
+TEST(SimulationTest, WakeOnMigratesTask) {
+  Simulation sim(Opts(2));
+  bool ran_on_core1 = false;
+  Task* t = sim.Spawn(0, [&] {
+    sim.Block();
+    ran_on_core1 = sim.current()->core() == 1;
+  });
+  sim.ScheduleAt(1_us, [&] { sim.WakeOn(t, 1); });
+  sim.Run();
+  EXPECT_TRUE(ran_on_core1);
+}
+
+TEST(SimulationTest, ContextSwitchCountGrows) {
+  Simulation sim(Opts(1));
+  sim.Spawn(0, [&] {
+    for (int i = 0; i < 10; ++i) {
+      sim.Yield();
+    }
+  });
+  sim.Run();
+  EXPECT_GE(sim.context_switches(), 10u);
+}
+
+TEST(SimulationTest, DeepStackUsage) {
+  Simulation::Options o;
+  o.num_cores = 1;
+  o.stack_size = 512 * 1024;
+  Simulation sim(o);
+  uint64_t result = 0;
+  std::function<uint64_t(int)> fib = [&](int n) -> uint64_t {
+    volatile char pad[512];  // force real stack consumption
+    pad[0] = static_cast<char>(n);
+    if (n <= 1) {
+      return static_cast<uint64_t>(n) + static_cast<uint64_t>(pad[0] - n);
+    }
+    return fib(n - 1) + fib(n - 2);
+  };
+  sim.Spawn(0, [&] { result = fib(18); });
+  sim.Run();
+  EXPECT_EQ(result, 2584u);
+}
+
+TEST(SimulationTest, RequestStopHaltsLoop) {
+  Simulation sim(Opts(1));
+  int fired = 0;
+  sim.ScheduleAt(10, [&] {
+    fired++;
+    sim.RequestStop();
+  });
+  sim.ScheduleAt(20, [&] { fired++; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.stop_requested());
+}
+
+}  // namespace
+}  // namespace easyio::sim
