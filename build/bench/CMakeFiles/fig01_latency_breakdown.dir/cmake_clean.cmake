@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_latency_breakdown.dir/fig01_latency_breakdown.cc.o"
+  "CMakeFiles/fig01_latency_breakdown.dir/fig01_latency_breakdown.cc.o.d"
+  "fig01_latency_breakdown"
+  "fig01_latency_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_latency_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_dma_vs_memcpy.dir/fig02_dma_vs_memcpy.cc.o"
+  "CMakeFiles/fig02_dma_vs_memcpy.dir/fig02_dma_vs_memcpy.cc.o.d"
+  "fig02_dma_vs_memcpy"
+  "fig02_dma_vs_memcpy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_dma_vs_memcpy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02_dma_vs_memcpy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_multichannel.dir/fig03_multichannel.cc.o"
+  "CMakeFiles/fig03_multichannel.dir/fig03_multichannel.cc.o.d"
+  "fig03_multichannel"
+  "fig03_multichannel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_multichannel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

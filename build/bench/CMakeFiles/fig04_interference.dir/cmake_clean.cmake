@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_interference.dir/fig04_interference.cc.o"
+  "CMakeFiles/fig04_interference.dir/fig04_interference.cc.o.d"
+  "fig04_interference"
+  "fig04_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

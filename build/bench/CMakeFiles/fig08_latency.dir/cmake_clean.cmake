@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_latency.dir/fig08_latency.cc.o"
+  "CMakeFiles/fig08_latency.dir/fig08_latency.cc.o.d"
+  "fig08_latency"
+  "fig08_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_throughput_latency.dir/fig09_throughput_latency.cc.o"
+  "CMakeFiles/fig09_throughput_latency.dir/fig09_throughput_latency.cc.o.d"
+  "fig09_throughput_latency"
+  "fig09_throughput_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_throughput_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

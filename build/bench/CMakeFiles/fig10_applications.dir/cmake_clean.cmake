@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_applications.dir/fig10_applications.cc.o"
+  "CMakeFiles/fig10_applications.dir/fig10_applications.cc.o.d"
+  "fig10_applications"
+  "fig10_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

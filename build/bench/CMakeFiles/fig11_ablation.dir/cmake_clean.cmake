@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_ablation.dir/fig11_ablation.cc.o"
+  "CMakeFiles/fig11_ablation.dir/fig11_ablation.cc.o.d"
+  "fig11_ablation"
+  "fig11_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

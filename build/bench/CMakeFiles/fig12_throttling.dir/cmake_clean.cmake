@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_throttling.dir/fig12_throttling.cc.o"
+  "CMakeFiles/fig12_throttling.dir/fig12_throttling.cc.o.d"
+  "fig12_throttling"
+  "fig12_throttling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_throttling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

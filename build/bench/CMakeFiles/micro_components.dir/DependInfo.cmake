@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_components.cc" "bench/CMakeFiles/micro_components.dir/micro_components.cc.o" "gcc" "bench/CMakeFiles/micro_components.dir/micro_components.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nova/CMakeFiles/easyio_nova.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/easyio_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/dma/CMakeFiles/easyio_dma.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/easyio_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/uthread/CMakeFiles/easyio_uthread.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/easyio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/easyio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_crashmonkey.dir/table2_crashmonkey.cc.o"
+  "CMakeFiles/table2_crashmonkey.dir/table2_crashmonkey.cc.o.d"
+  "table2_crashmonkey"
+  "table2_crashmonkey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_crashmonkey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

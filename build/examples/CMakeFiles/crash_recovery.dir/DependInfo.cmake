@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/crash_recovery.cpp" "examples/CMakeFiles/crash_recovery.dir/crash_recovery.cpp.o" "gcc" "examples/CMakeFiles/crash_recovery.dir/crash_recovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/easyio/CMakeFiles/easyio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/easyio_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/nova/CMakeFiles/easyio_nova.dir/DependInfo.cmake"
+  "/root/repo/build/src/dma/CMakeFiles/easyio_dma.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/easyio_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/easyio_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/uthread/CMakeFiles/easyio_uthread.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/easyio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/easyio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

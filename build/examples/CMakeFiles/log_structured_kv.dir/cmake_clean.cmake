@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_structured_kv.dir/log_structured_kv.cpp.o"
+  "CMakeFiles/log_structured_kv.dir/log_structured_kv.cpp.o.d"
+  "log_structured_kv"
+  "log_structured_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_structured_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_colocation.dir/qos_colocation.cpp.o"
+  "CMakeFiles/qos_colocation.dir/qos_colocation.cpp.o.d"
+  "qos_colocation"
+  "qos_colocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

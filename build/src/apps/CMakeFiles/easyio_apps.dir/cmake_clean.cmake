@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easyio_apps.dir/aes.cc.o"
+  "CMakeFiles/easyio_apps.dir/aes.cc.o.d"
+  "CMakeFiles/easyio_apps.dir/apps.cc.o"
+  "CMakeFiles/easyio_apps.dir/apps.cc.o.d"
+  "CMakeFiles/easyio_apps.dir/graph.cc.o"
+  "CMakeFiles/easyio_apps.dir/graph.cc.o.d"
+  "CMakeFiles/easyio_apps.dir/grep.cc.o"
+  "CMakeFiles/easyio_apps.dir/grep.cc.o.d"
+  "CMakeFiles/easyio_apps.dir/idct.cc.o"
+  "CMakeFiles/easyio_apps.dir/idct.cc.o.d"
+  "CMakeFiles/easyio_apps.dir/kdtree.cc.o"
+  "CMakeFiles/easyio_apps.dir/kdtree.cc.o.d"
+  "CMakeFiles/easyio_apps.dir/lz.cc.o"
+  "CMakeFiles/easyio_apps.dir/lz.cc.o.d"
+  "libeasyio_apps.a"
+  "libeasyio_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easyio_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

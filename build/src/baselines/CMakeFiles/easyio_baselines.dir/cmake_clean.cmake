@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easyio_baselines.dir/delegation.cc.o"
+  "CMakeFiles/easyio_baselines.dir/delegation.cc.o.d"
+  "CMakeFiles/easyio_baselines.dir/nova_dma_fs.cc.o"
+  "CMakeFiles/easyio_baselines.dir/nova_dma_fs.cc.o.d"
+  "libeasyio_baselines.a"
+  "libeasyio_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easyio_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easyio_common.dir/crc32.cc.o"
+  "CMakeFiles/easyio_common.dir/crc32.cc.o.d"
+  "CMakeFiles/easyio_common.dir/histogram.cc.o"
+  "CMakeFiles/easyio_common.dir/histogram.cc.o.d"
+  "CMakeFiles/easyio_common.dir/status.cc.o"
+  "CMakeFiles/easyio_common.dir/status.cc.o.d"
+  "libeasyio_common.a"
+  "libeasyio_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easyio_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easyio_crashmonkey.dir/crash_test.cc.o"
+  "CMakeFiles/easyio_crashmonkey.dir/crash_test.cc.o.d"
+  "libeasyio_crashmonkey.a"
+  "libeasyio_crashmonkey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easyio_crashmonkey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

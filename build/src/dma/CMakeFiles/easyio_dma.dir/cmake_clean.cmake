@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easyio_dma.dir/channel.cc.o"
+  "CMakeFiles/easyio_dma.dir/channel.cc.o.d"
+  "CMakeFiles/easyio_dma.dir/dma_engine.cc.o"
+  "CMakeFiles/easyio_dma.dir/dma_engine.cc.o.d"
+  "libeasyio_dma.a"
+  "libeasyio_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easyio_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easyio_core.dir/channel_manager.cc.o"
+  "CMakeFiles/easyio_core.dir/channel_manager.cc.o.d"
+  "CMakeFiles/easyio_core.dir/easy_io_fs.cc.o"
+  "CMakeFiles/easyio_core.dir/easy_io_fs.cc.o.d"
+  "libeasyio_core.a"
+  "libeasyio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easyio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

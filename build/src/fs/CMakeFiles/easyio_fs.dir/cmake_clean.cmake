@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easyio_fs.dir/file_system.cc.o"
+  "CMakeFiles/easyio_fs.dir/file_system.cc.o.d"
+  "libeasyio_fs.a"
+  "libeasyio_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easyio_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

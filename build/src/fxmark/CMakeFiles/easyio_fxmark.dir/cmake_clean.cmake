@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easyio_fxmark.dir/fxmark.cc.o"
+  "CMakeFiles/easyio_fxmark.dir/fxmark.cc.o.d"
+  "libeasyio_fxmark.a"
+  "libeasyio_fxmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easyio_fxmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

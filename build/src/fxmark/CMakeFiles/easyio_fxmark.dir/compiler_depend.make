@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for easyio_fxmark.
+# This may be replaced when dependencies are built.

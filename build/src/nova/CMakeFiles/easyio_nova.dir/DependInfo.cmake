@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nova/allocator.cc" "src/nova/CMakeFiles/easyio_nova.dir/allocator.cc.o" "gcc" "src/nova/CMakeFiles/easyio_nova.dir/allocator.cc.o.d"
+  "/root/repo/src/nova/journal.cc" "src/nova/CMakeFiles/easyio_nova.dir/journal.cc.o" "gcc" "src/nova/CMakeFiles/easyio_nova.dir/journal.cc.o.d"
+  "/root/repo/src/nova/nova_fs.cc" "src/nova/CMakeFiles/easyio_nova.dir/nova_fs.cc.o" "gcc" "src/nova/CMakeFiles/easyio_nova.dir/nova_fs.cc.o.d"
+  "/root/repo/src/nova/page_map.cc" "src/nova/CMakeFiles/easyio_nova.dir/page_map.cc.o" "gcc" "src/nova/CMakeFiles/easyio_nova.dir/page_map.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fs/CMakeFiles/easyio_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/dma/CMakeFiles/easyio_dma.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/easyio_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/uthread/CMakeFiles/easyio_uthread.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/easyio_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/easyio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

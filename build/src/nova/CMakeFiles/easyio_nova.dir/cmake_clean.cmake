@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easyio_nova.dir/allocator.cc.o"
+  "CMakeFiles/easyio_nova.dir/allocator.cc.o.d"
+  "CMakeFiles/easyio_nova.dir/journal.cc.o"
+  "CMakeFiles/easyio_nova.dir/journal.cc.o.d"
+  "CMakeFiles/easyio_nova.dir/nova_fs.cc.o"
+  "CMakeFiles/easyio_nova.dir/nova_fs.cc.o.d"
+  "CMakeFiles/easyio_nova.dir/page_map.cc.o"
+  "CMakeFiles/easyio_nova.dir/page_map.cc.o.d"
+  "libeasyio_nova.a"
+  "libeasyio_nova.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easyio_nova.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

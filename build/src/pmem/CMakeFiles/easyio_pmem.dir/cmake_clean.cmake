@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easyio_pmem.dir/slow_memory.cc.o"
+  "CMakeFiles/easyio_pmem.dir/slow_memory.cc.o.d"
+  "libeasyio_pmem.a"
+  "libeasyio_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easyio_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/context.cc" "src/sim/CMakeFiles/easyio_sim.dir/context.cc.o" "gcc" "src/sim/CMakeFiles/easyio_sim.dir/context.cc.o.d"
+  "/root/repo/src/sim/flow_resource.cc" "src/sim/CMakeFiles/easyio_sim.dir/flow_resource.cc.o" "gcc" "src/sim/CMakeFiles/easyio_sim.dir/flow_resource.cc.o.d"
+  "/root/repo/src/sim/simulation.cc" "src/sim/CMakeFiles/easyio_sim.dir/simulation.cc.o" "gcc" "src/sim/CMakeFiles/easyio_sim.dir/simulation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/easyio_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

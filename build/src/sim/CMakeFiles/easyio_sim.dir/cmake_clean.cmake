@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easyio_sim.dir/context.cc.o"
+  "CMakeFiles/easyio_sim.dir/context.cc.o.d"
+  "CMakeFiles/easyio_sim.dir/flow_resource.cc.o"
+  "CMakeFiles/easyio_sim.dir/flow_resource.cc.o.d"
+  "CMakeFiles/easyio_sim.dir/simulation.cc.o"
+  "CMakeFiles/easyio_sim.dir/simulation.cc.o.d"
+  "libeasyio_sim.a"
+  "libeasyio_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easyio_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

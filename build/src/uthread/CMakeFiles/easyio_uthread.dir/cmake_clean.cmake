@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easyio_uthread.dir/scheduler.cc.o"
+  "CMakeFiles/easyio_uthread.dir/scheduler.cc.o.d"
+  "libeasyio_uthread.a"
+  "libeasyio_uthread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easyio_uthread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crashmonkey_test.dir/crashmonkey_test.cc.o"
+  "CMakeFiles/crashmonkey_test.dir/crashmonkey_test.cc.o.d"
+  "crashmonkey_test"
+  "crashmonkey_test.pdb"
+  "crashmonkey_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crashmonkey_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

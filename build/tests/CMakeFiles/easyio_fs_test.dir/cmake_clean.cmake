@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easyio_fs_test.dir/easyio_fs_test.cc.o"
+  "CMakeFiles/easyio_fs_test.dir/easyio_fs_test.cc.o.d"
+  "easyio_fs_test"
+  "easyio_fs_test.pdb"
+  "easyio_fs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easyio_fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_resource_test.dir/flow_resource_test.cc.o"
+  "CMakeFiles/flow_resource_test.dir/flow_resource_test.cc.o.d"
+  "flow_resource_test"
+  "flow_resource_test.pdb"
+  "flow_resource_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_resource_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

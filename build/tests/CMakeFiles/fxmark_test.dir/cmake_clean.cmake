@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fxmark_test.dir/fxmark_test.cc.o"
+  "CMakeFiles/fxmark_test.dir/fxmark_test.cc.o.d"
+  "fxmark_test"
+  "fxmark_test.pdb"
+  "fxmark_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fxmark_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_gc_test.dir/log_gc_test.cc.o"
+  "CMakeFiles/log_gc_test.dir/log_gc_test.cc.o.d"
+  "log_gc_test"
+  "log_gc_test.pdb"
+  "log_gc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_gc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_fs_test.dir/nova_fs_test.cc.o"
+  "CMakeFiles/nova_fs_test.dir/nova_fs_test.cc.o.d"
+  "nova_fs_test"
+  "nova_fs_test.pdb"
+  "nova_fs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

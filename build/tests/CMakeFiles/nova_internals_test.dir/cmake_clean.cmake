@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_internals_test.dir/nova_internals_test.cc.o"
+  "CMakeFiles/nova_internals_test.dir/nova_internals_test.cc.o.d"
+  "nova_internals_test"
+  "nova_internals_test.pdb"
+  "nova_internals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uthread_test.dir/uthread_test.cc.o"
+  "CMakeFiles/uthread_test.dir/uthread_test.cc.o.d"
+  "uthread_test"
+  "uthread_test.pdb"
+  "uthread_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uthread_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

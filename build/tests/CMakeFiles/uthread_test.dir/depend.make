@@ -1,0 +1,2 @@
+# Empty dependencies file for uthread_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_resource_test[1]_include.cmake")
+include("/root/repo/build/tests/pmem_test[1]_include.cmake")
+include("/root/repo/build/tests/dma_test[1]_include.cmake")
+include("/root/repo/build/tests/uthread_test[1]_include.cmake")
+include("/root/repo/build/tests/nova_internals_test[1]_include.cmake")
+include("/root/repo/build/tests/nova_fs_test[1]_include.cmake")
+include("/root/repo/build/tests/easyio_fs_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/crashmonkey_test[1]_include.cmake")
+include("/root/repo/build/tests/fxmark_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_property_test[1]_include.cmake")
+include("/root/repo/build/tests/recovery_fault_test[1]_include.cmake")
+include("/root/repo/build/tests/log_gc_test[1]_include.cmake")
+include("/root/repo/build/tests/concurrent_property_test[1]_include.cmake")
