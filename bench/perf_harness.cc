@@ -1,0 +1,415 @@
+// Wall-clock performance harness: measures the *simulator's* real-time cost
+// (host ns per simulated op) over a fixed op mix, and records the trajectory
+// in BENCH_report.json at the repo root so every PR has a before/after
+// number.
+//
+// The mix combines the fxmark profiles the paper evaluates (DWAL/DRBL at
+// 4K and 64K, on EasyIO and the synchronous NOVA baseline) with direct
+// component loops over the hot data structures (PageMap, BlockAllocator,
+// the event loop) in the spirit of micro_components.cc. For each case we
+// report:
+//   wall_ns_per_op  - host nanoseconds per simulated operation (min of N
+//                     repeats, to shed scheduler noise)
+//   sim_ratio       - host time / simulated time (how many real ns the
+//                     simulator burns per virtual ns; lower is better)
+// plus the process-wide peak RSS.
+//
+// Usage:
+//   perf_harness [--smoke] [--as-baseline] [--repeats N] [--out PATH]
+//
+//   --as-baseline  record this run as the "baseline" section (seed state);
+//                  later default runs preserve it and report improvement.
+//   --smoke        tiny windows + JSON self-check; used as a ctest target.
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/fxmark/fxmark.h"
+#include "src/harness/testbed.h"
+#include "src/nova/allocator.h"
+#include "src/nova/layout.h"
+#include "src/nova/page_map.h"
+#include "src/sim/simulation.h"
+
+namespace easyio {
+namespace {
+
+struct CaseResult {
+  std::string name;
+  double wall_ns_per_op = 0;
+  double sim_ratio = 0;  // host ns per simulated ns (0 for component loops)
+  uint64_t ops = 0;
+};
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// ------------------------------------------------------------ fxmark mix ----
+
+CaseResult RunFxmark(const std::string& name, harness::FsKind fs,
+                     fxmark::Workload wl, uint64_t io_size,
+                     uint64_t measure_ns, int repeats) {
+  CaseResult out;
+  out.name = name;
+  double best = 1e18;
+  for (int r = 0; r < repeats; ++r) {
+    fxmark::RunConfig cfg;
+    cfg.fs = fs;
+    cfg.workload = wl;
+    cfg.cores = 4;
+    cfg.uthreads_per_core = fs == harness::FsKind::kEasy ? 2 : 1;
+    cfg.io_size = io_size;
+    cfg.file_bytes = 4_MB;
+    cfg.warmup_ns = measure_ns / 4;
+    cfg.measure_ns = measure_ns;
+    cfg.device_bytes = 512_MB;
+    cfg.machine_cores = 8;
+    const uint64_t t0 = NowNs();
+    const fxmark::RunResult res = fxmark::Run(cfg);
+    const uint64_t wall = NowNs() - t0;
+    if (res.ops == 0) {
+      continue;
+    }
+    const double ns_per_op =
+        static_cast<double>(wall) / static_cast<double>(res.ops);
+    if (ns_per_op < best) {
+      best = ns_per_op;
+      out.ops = res.ops;
+      out.sim_ratio = static_cast<double>(wall) /
+                      static_cast<double>(cfg.warmup_ns + cfg.measure_ns);
+    }
+  }
+  out.wall_ns_per_op = best;
+  return out;
+}
+
+// --------------------------------------------------------- component mix ----
+
+CaseResult RunPageMapLoop(uint64_t iters, int repeats) {
+  CaseResult out;
+  out.name = "micro_pagemap_insert_lookup";
+  double best = 1e18;
+  for (int r = 0; r < repeats; ++r) {
+    nova::PageMap map;
+    uint64_t sink = 0;
+    const uint64_t t0 = NowNs();
+    uint64_t pg = 0;
+    for (uint64_t i = 0; i < iters; ++i) {
+      map.Insert(pg % 4096, 16, 1_MB + pg * nova::kBlockSize, 0);
+      for (const auto& seg : map.Lookup(pg % 4096, 16)) {
+        sink += seg.block_off;
+      }
+      pg += 16;
+    }
+    const uint64_t wall = NowNs() - t0;
+    if (sink == 0) {
+      std::fprintf(stderr, "pagemap sink zero?\n");
+    }
+    best = std::min(best,
+                    static_cast<double>(wall) / static_cast<double>(iters));
+  }
+  out.wall_ns_per_op = best;
+  out.ops = iters;
+  return out;
+}
+
+CaseResult RunAllocatorLoop(uint64_t iters, int repeats) {
+  CaseResult out;
+  out.name = "micro_allocator_churn";
+  double best = 1e18;
+  for (int r = 0; r < repeats; ++r) {
+    nova::BlockAllocator alloc(1_MB, 1 << 18, 16);
+    Rng rng(7);
+    std::vector<nova::Extent> held;
+    held.reserve(1024);
+    const uint64_t t0 = NowNs();
+    for (uint64_t i = 0; i < iters; ++i) {
+      auto e = alloc.Alloc(1 + rng.Below(32), static_cast<int>(i % 16));
+      if (e.ok()) {
+        held.push_back(*e);
+      }
+      if (held.size() >= 1024 || !e.ok()) {
+        // Free a random half to force fragmentation churn.
+        for (size_t k = 0; k < held.size();) {
+          if (rng.Below(2) == 0) {
+            alloc.Free(held[k]);
+            held[k] = held.back();
+            held.pop_back();
+          } else {
+            k++;
+          }
+        }
+      }
+    }
+    const uint64_t wall = NowNs() - t0;
+    best = std::min(best,
+                    static_cast<double>(wall) / static_cast<double>(iters));
+  }
+  out.wall_ns_per_op = best;
+  out.ops = iters;
+  return out;
+}
+
+CaseResult RunEventLoop(uint64_t iters, int repeats) {
+  CaseResult out;
+  out.name = "micro_event_schedule_fire";
+  double best = 1e18;
+  for (int r = 0; r < repeats; ++r) {
+    sim::Simulation sim({.num_cores = 1});
+    uint64_t fired = 0;
+    const uint64_t t0 = NowNs();
+    for (uint64_t i = 0; i < iters; ++i) {
+      sim.ScheduleAfter(1, [&fired] { fired++; });
+      sim.RunFor(2);
+    }
+    const uint64_t wall = NowNs() - t0;
+    if (fired != iters) {
+      std::fprintf(stderr, "event loop dropped events\n");
+    }
+    best = std::min(best,
+                    static_cast<double>(wall) / static_cast<double>(iters));
+  }
+  out.wall_ns_per_op = best;
+  out.ops = iters;
+  return out;
+}
+
+// ------------------------------------------------------------------ json ----
+
+double Geomean(const std::vector<CaseResult>& cases) {
+  double log_sum = 0;
+  for (const auto& c : cases) {
+    log_sum += std::log(c.wall_ns_per_op);
+  }
+  return std::exp(log_sum / static_cast<double>(cases.size()));
+}
+
+void EmitRun(std::ostringstream& os, const std::vector<CaseResult>& cases,
+             const std::string& indent) {
+  os << indent << "\"mix\": [\n";
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const auto& c = cases[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s  {\"name\": \"%s\", \"wall_ns_per_op\": %.2f, "
+                  "\"sim_ratio\": %.4f, \"ops\": %llu}%s\n",
+                  indent.c_str(), c.name.c_str(), c.wall_ns_per_op,
+                  c.sim_ratio, static_cast<unsigned long long>(c.ops),
+                  i + 1 < cases.size() ? "," : "");
+    os << buf;
+  }
+  os << indent << "],\n";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s\"geomean_ns_per_op\": %.2f,\n",
+                indent.c_str(), Geomean(cases));
+  os << buf;
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  std::snprintf(buf, sizeof(buf), "%s\"peak_rss_kb\": %ld\n", indent.c_str(),
+                ru.ru_maxrss);
+  os << buf;
+}
+
+// Extracts the previously recorded baseline block (between the exact marker
+// lines the harness itself emits), so a default run can carry it forward.
+std::string ExtractBaselineBlock(const std::string& prev) {
+  const std::string begin = "  \"baseline\": {\n";
+  const std::string end = "\n  },\n";
+  const size_t b = prev.find(begin);
+  if (b == std::string::npos) {
+    return "";
+  }
+  const size_t e = prev.find(end, b);
+  if (e == std::string::npos) {
+    return "";
+  }
+  return prev.substr(b, e + end.size() - b);
+}
+
+double ExtractGeomean(const std::string& block) {
+  const std::string key = "\"geomean_ns_per_op\": ";
+  const size_t p = block.find(key);
+  if (p == std::string::npos) {
+    return 0;
+  }
+  return std::strtod(block.c_str() + p + key.size(), nullptr);
+}
+
+bool JsonBalanced(const std::string& s) {
+  int depth = 0;
+  bool in_str = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_str) {
+      if (c == '\\') {
+        i++;
+      } else if (c == '"') {
+        in_str = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_str = true;
+    } else if (c == '{' || c == '[') {
+      depth++;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) {
+        return false;
+      }
+    }
+  }
+  return depth == 0 && !in_str;
+}
+
+}  // namespace
+}  // namespace easyio
+
+int main(int argc, char** argv) {
+  using namespace easyio;
+  bool smoke = false;
+  bool as_baseline = false;
+  int repeats = 3;
+  std::string out_path = "BENCH_report.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--as-baseline") == 0) {
+      as_baseline = true;
+    } else if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc) {
+      repeats = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_harness [--smoke] [--as-baseline] "
+                   "[--repeats N] [--out PATH]\n");
+      return 2;
+    }
+  }
+  if (smoke) {
+    repeats = 1;
+  }
+  const uint64_t measure = smoke ? 2_ms : 20_ms;
+  const uint64_t micro_iters = smoke ? 20000 : 2000000;
+
+  std::vector<CaseResult> cases;
+  const struct {
+    const char* name;
+    harness::FsKind fs;
+    fxmark::Workload wl;
+    uint64_t io;
+  } kFxCases[] = {
+      {"easyio_dwal_write_4k", harness::FsKind::kEasy,
+       fxmark::Workload::kDWAL, 4_KB},
+      {"easyio_dwal_write_64k", harness::FsKind::kEasy,
+       fxmark::Workload::kDWAL, 64_KB},
+      {"easyio_drbl_read_4k", harness::FsKind::kEasy,
+       fxmark::Workload::kDRBL, 4_KB},
+      {"easyio_drbl_read_64k", harness::FsKind::kEasy,
+       fxmark::Workload::kDRBL, 64_KB},
+      {"nova_dwal_write_4k", harness::FsKind::kNova,
+       fxmark::Workload::kDWAL, 4_KB},
+      {"nova_drbl_read_64k", harness::FsKind::kNova,
+       fxmark::Workload::kDRBL, 64_KB},
+  };
+  for (const auto& fx : kFxCases) {
+    cases.push_back(RunFxmark(fx.name, fx.fs, fx.wl, fx.io, measure, repeats));
+    std::printf("%-28s %10.1f ns/op  (sim_ratio %.3f, %llu ops)\n",
+                cases.back().name.c_str(), cases.back().wall_ns_per_op,
+                cases.back().sim_ratio,
+                static_cast<unsigned long long>(cases.back().ops));
+  }
+  cases.push_back(RunPageMapLoop(micro_iters, repeats));
+  std::printf("%-28s %10.1f ns/op\n", cases.back().name.c_str(),
+              cases.back().wall_ns_per_op);
+  cases.push_back(RunAllocatorLoop(micro_iters, repeats));
+  std::printf("%-28s %10.1f ns/op\n", cases.back().name.c_str(),
+              cases.back().wall_ns_per_op);
+  cases.push_back(RunEventLoop(micro_iters, repeats));
+  std::printf("%-28s %10.1f ns/op\n", cases.back().name.c_str(),
+              cases.back().wall_ns_per_op);
+
+  // Previous report (to carry the baseline forward).
+  std::string prev;
+  {
+    std::ifstream in(out_path);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      prev = ss.str();
+    }
+  }
+
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"easyio-bench-report-v1\",\n";
+  std::string baseline_block;
+  if (as_baseline) {
+    std::ostringstream run;
+    EmitRun(run, cases, "    ");
+    baseline_block = "  \"baseline\": {\n" + run.str() + "  },\n";
+  } else {
+    baseline_block = ExtractBaselineBlock(prev);
+  }
+  if (!baseline_block.empty()) {
+    os << baseline_block;
+  }
+  os << "  \"current\": {\n";
+  EmitRun(os, cases, "    ");
+  os << "  },\n";
+  const double base_geo = ExtractGeomean(baseline_block);
+  const double cur_geo = Geomean(cases);
+  char buf[160];
+  if (base_geo > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  \"improvement_pct\": %.1f,\n",
+                  100.0 * (base_geo - cur_geo) / base_geo);
+    os << buf;
+  }
+  std::snprintf(buf, sizeof(buf), "  \"repeats\": %d,\n  \"smoke\": %s\n}\n",
+                repeats, smoke ? "true" : "false");
+  os << buf;
+
+  const std::string report = os.str();
+  if (!JsonBalanced(report)) {
+    std::fprintf(stderr, "perf_harness: generated report is not balanced\n");
+    return 1;
+  }
+  std::ofstream out(out_path);
+  out << report;
+  out.close();
+  std::printf("\ngeomean %.1f ns/op", cur_geo);
+  if (base_geo > 0) {
+    std::printf("  (baseline %.1f, %.1f%% better)", base_geo,
+                100.0 * (base_geo - cur_geo) / base_geo);
+  }
+  std::printf("  -> %s\n", out_path.c_str());
+  if (smoke) {
+    // Self-check: re-read and validate shape.
+    std::ifstream in(out_path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string s = ss.str();
+    if (!JsonBalanced(s) || s.find("\"current\"") == std::string::npos ||
+        s.find("\"geomean_ns_per_op\"") == std::string::npos) {
+      std::fprintf(stderr, "perf_harness --smoke: report failed self-check\n");
+      return 1;
+    }
+    std::printf("smoke ok\n");
+  }
+  return 0;
+}

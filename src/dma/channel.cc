@@ -62,14 +62,18 @@ Sn Channel::Submit(Descriptor desc) {
   return sn;
 }
 
-std::vector<Sn> Channel::SubmitBatch(std::vector<Descriptor> descs) {
+void Channel::SubmitBatch(std::span<Descriptor> descs, std::vector<Sn>* sns) {
   ChargeSubmit(descs.size());
-  std::vector<Sn> sns;
-  sns.reserve(descs.size());
+  sns->reserve(sns->size() + descs.size());
   for (auto& d : descs) {
-    sns.push_back(Enqueue(std::move(d)));
+    sns->push_back(Enqueue(std::move(d)));
   }
   MaybeStart();
+}
+
+std::vector<Sn> Channel::SubmitBatch(std::vector<Descriptor> descs) {
+  std::vector<Sn> sns;
+  SubmitBatch(std::span<Descriptor>(descs), &sns);
   return sns;
 }
 

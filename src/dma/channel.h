@@ -56,7 +56,10 @@ class Channel {
   // calling task. Returns the SN identifying its completion.
   Sn Submit(Descriptor desc);
   // Batch submission: one doorbell, amortized per-descriptor cost
-  // (§2.2: both I/OAT and DSA support batch submission).
+  // (§2.2: both I/OAT and DSA support batch submission). The span form
+  // consumes the descriptors in place and appends the SNs to *sns (not
+  // cleared), so a caller can reuse its own buffers across operations.
+  void SubmitBatch(std::span<Descriptor> descs, std::vector<Sn>* sns);
   std::vector<Sn> SubmitBatch(std::vector<Descriptor> descs);
 
   // True once the channel's completion record covers `sn`.

@@ -4,36 +4,28 @@
 
 namespace easyio::core {
 
-namespace {
-
-// Maps the user buffer onto the allocated extents: one DMA descriptor (or
-// memcpy) per contiguous extent, honoring the unaligned head offset.
-struct ExtentChunk {
-  uint64_t pmem_off;
-  size_t buf_off;
-  size_t bytes;
-};
-
-std::vector<ExtentChunk> Chunkify(const std::vector<nova::Extent>& extents,
-                                  uint64_t off, size_t n) {
-  std::vector<ExtentChunk> chunks;
+void EasyIoFs::ChunkifyInto(const std::vector<nova::Extent>& extents,
+                            uint64_t off, size_t n,
+                            std::vector<ByteRange>* out) {
   const uint64_t head = off % nova::kBlockSize;
   size_t copied = 0;
   for (const nova::Extent& e : extents) {
     const uint64_t ext_bytes = e.pages * nova::kBlockSize;
     const uint64_t skip = copied == 0 ? head : 0;
     const size_t bytes = std::min<uint64_t>(n - copied, ext_bytes - skip);
-    chunks.push_back({e.block_off + skip, copied, bytes});
+    ByteRange r;
+    r.buf_off = copied;
+    r.pmem_off = e.block_off + skip;
+    r.bytes = bytes;
+    r.hole = false;
+    out->push_back(r);
     copied += bytes;
     if (copied == n) {
       break;
     }
   }
   assert(copied == n);
-  return chunks;
 }
-
-}  // namespace
 
 StatusOr<size_t> EasyIoFs::WriteInternal(Inode& in, uint64_t off,
                                          std::span<const std::byte> buf,
@@ -68,20 +60,23 @@ StatusOr<size_t> EasyIoFs::WriteMemcpy(Inode& in, uint64_t off,
   const uint64_t pages = (off + n - 1) / nova::kBlockSize - first_pg + 1;
   Charge(stats, &fs::OpStats::index_ns,
          params().index_base_ns + params().index_per_page_ns * pages);
-  auto extents = AllocBlocks(pages, stats);
-  if (!extents.ok()) {
+  ScratchLease scratch(this);
+  const Status alloc_st = AllocBlocks(pages, stats, &scratch->extents);
+  if (!alloc_st.ok()) {
     in.lock.WriteUnlock();
     Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
-    return extents.status();
+    return alloc_st;
   }
-  FillWriteEdges(in, off, n, *extents, stats);
-  for (const ExtentChunk& c : Chunkify(*extents, off, n)) {
+  FillWriteEdges(in, off, n, scratch->extents, stats);
+  ChunkifyInto(scratch->extents, off, n, &scratch->ranges);
+  for (const ByteRange& c : scratch->ranges) {
     Timed(stats, &fs::OpStats::data_ns, [&] {
       memory()->CpuWrite(c.pmem_off, buf.data() + c.buf_off, c.bytes);
     });
   }
-  std::vector<dma::Sn> sns(extents->size(), dma::Sn::None());
-  const Status st = CommitWrite(in, off, n, *extents, sns, stats);
+  scratch->sns.assign(scratch->extents.size(), dma::Sn::None());
+  const Status st =
+      CommitWrite(in, off, n, scratch->extents, scratch->sns, stats);
   in.lock.WriteUnlock();
   Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
   writes_memcpy_++;
@@ -102,33 +97,37 @@ StatusOr<size_t> EasyIoFs::WriteOrderless(Inode& in, uint64_t off,
   const uint64_t pages = (off + n - 1) / nova::kBlockSize - first_pg + 1;
   Charge(stats, &fs::OpStats::index_ns,
          params().index_base_ns + params().index_per_page_ns * pages);
-  auto extents = AllocBlocks(pages, stats);
-  if (!extents.ok()) {
+  ScratchLease scratch(this);
+  const Status alloc_st = AllocBlocks(pages, stats, &scratch->extents);
+  if (!alloc_st.ok()) {
     in.lock.WriteUnlock();
     Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
-    return extents.status();
+    return alloc_st;
   }
-  FillWriteEdges(in, off, n, *extents, stats);
+  FillWriteEdges(in, off, n, scratch->extents, stats);
 
   dma::Channel* ch = cm_->PickWriteChannel();
-  std::vector<dma::Descriptor> batch;
-  for (const ExtentChunk& c : Chunkify(*extents, off, n)) {
+  ChunkifyInto(scratch->extents, off, n, &scratch->ranges);
+  for (const ByteRange& c : scratch->ranges) {
     dma::Descriptor d;
     d.dir = dma::Descriptor::Dir::kWrite;
     d.pmem_off = c.pmem_off;
     d.dram = const_cast<std::byte*>(buf.data() + c.buf_off);
     d.size = static_cast<uint32_t>(c.bytes);
-    batch.push_back(std::move(d));
+    scratch->batch.push_back(std::move(d));
   }
-  std::vector<dma::Sn> sns;
-  Timed(stats, &fs::OpStats::data_ns,
-        [&] { sns = ch->SubmitBatch(std::move(batch)); });
+  Timed(stats, &fs::OpStats::data_ns, [&] {
+    ch->SubmitBatch(std::span<dma::Descriptor>(scratch->batch),
+                    &scratch->sns);
+  });
 
   // Metadata commits while the DMA engine is still copying: the log entries
   // embed the SNs, so durability of the data is described indirectly.
-  const Status st = CommitWrite(in, off, n, *extents, sns, stats);
+  const Status st =
+      CommitWrite(in, off, n, scratch->extents, scratch->sns, stats);
+  const dma::Sn last_sn = scratch->sns.back();
   in.pending_channel = ch;
-  in.pending_sn = sns.back();
+  in.pending_sn = last_sn;
   in.lock.WriteUnlock();  // level-1 released before the data lands
   Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
   writes_offloaded_++;
@@ -139,7 +138,7 @@ StatusOr<size_t> EasyIoFs::WriteOrderless(Inode& in, uint64_t off,
   // Back in the runtime: yield and resume when the I/O finishes (§4.1).
   Charge(stats, &fs::OpStats::data_ns, params().uthread_switch_ns);
   const sim::SimTime t0 = sim()->now();
-  ch->WaitSn(sns.back());
+  ch->WaitSn(last_sn);
   if (stats != nullptr) {
     const uint64_t waited = sim()->now() - t0;
     stats->blocked_ns += waited;
@@ -158,43 +157,49 @@ StatusOr<size_t> EasyIoFs::WriteNaive(Inode& in, uint64_t off,
   const uint64_t pages = (off + n - 1) / nova::kBlockSize - first_pg + 1;
   Charge(stats, &fs::OpStats::index_ns,
          params().index_base_ns + params().index_per_page_ns * pages);
-  auto extents = AllocBlocks(pages, stats);
-  if (!extents.ok()) {
+  ScratchLease scratch(this);
+  const Status alloc_st = AllocBlocks(pages, stats, &scratch->extents);
+  if (!alloc_st.ok()) {
     in.lock.WriteUnlock();
     Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
-    return extents.status();
+    return alloc_st;
   }
-  FillWriteEdges(in, off, n, *extents, stats);
+  FillWriteEdges(in, off, n, scratch->extents, stats);
 
   dma::Channel* ch = cm_->PickWriteChannel();
-  std::vector<dma::Descriptor> batch;
-  for (const ExtentChunk& c : Chunkify(*extents, off, n)) {
+  ChunkifyInto(scratch->extents, off, n, &scratch->ranges);
+  for (const ByteRange& c : scratch->ranges) {
     dma::Descriptor d;
     d.dir = dma::Descriptor::Dir::kWrite;
     d.pmem_off = c.pmem_off;
     d.dram = const_cast<std::byte*>(buf.data() + c.buf_off);
     d.size = static_cast<uint32_t>(c.bytes);
-    batch.push_back(std::move(d));
+    scratch->batch.push_back(std::move(d));
   }
-  std::vector<dma::Sn> sns;
-  Timed(stats, &fs::OpStats::data_ns,
-        [&] { sns = ch->SubmitBatch(std::move(batch)); });
+  Timed(stats, &fs::OpStats::data_ns, [&] {
+    ch->SubmitBatch(std::span<dma::Descriptor>(scratch->batch),
+                    &scratch->sns);
+  });
+  const dma::Sn last_sn = scratch->sns.back();
 
   // First interaction returns (lock still held!); the uthread parks.
   Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
   Charge(stats, &fs::OpStats::data_ns, params().uthread_switch_ns);
   const sim::SimTime t0 = sim()->now();
-  ch->WaitSn(sns.back());
+  ch->WaitSn(last_sn);
   if (stats != nullptr) {
     const uint64_t waited = sim()->now() - t0;
     stats->blocked_ns += waited;
     stats->data_ns += waited;
   }
 
-  // Second interaction: commit the metadata now that data is durable.
+  // Second interaction: commit the metadata now that data is durable. The
+  // submission SNs are no longer needed, so the scratch vector is reused
+  // for the all-None commit SNs.
   Charge(stats, &fs::OpStats::syscall_ns, params().syscall_enter_ns);
-  std::vector<dma::Sn> none(extents->size(), dma::Sn::None());
-  const Status st = CommitWrite(in, off, n, *extents, none, stats);
+  scratch->sns.assign(scratch->extents.size(), dma::Sn::None());
+  const Status st =
+      CommitWrite(in, off, n, scratch->extents, scratch->sns, stats);
   in.lock.WriteUnlock();
   Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
   writes_offloaded_++;
@@ -223,8 +228,9 @@ StatusOr<size_t> EasyIoFs::ReadInternal(Inode& in, uint64_t off,
   const uint64_t pages = (off + n - 1) / nova::kBlockSize - first_pg + 1;
   Charge(stats, &fs::OpStats::index_ns,
          params().index_base_ns + params().index_per_page_ns * pages);
-  const auto segs = in.pages.Lookup(first_pg, pages);
-  const auto ranges = SegmentsToByteRanges(segs, off, n);
+  ScratchLease scratch(this);
+  in.pages.LookupInto(first_pg, pages, &scratch->segs);
+  SegmentsToByteRanges(scratch->segs, off, n, &scratch->ranges);
   in.pending_reads++;
 
   // Listing 2: DMA only for >4KB and an L channel below the depth bound.
@@ -238,7 +244,7 @@ StatusOr<size_t> EasyIoFs::ReadInternal(Inode& in, uint64_t off,
     // pending-read count protect the blocks, so the lock drops first.
     in.lock.ReadUnlock();
     reads_memcpy_++;
-    for (const ByteRange& r : ranges) {
+    for (const ByteRange& r : scratch->ranges) {
       if (r.hole) {
         FillZero(buf.data() + r.buf_off, r.bytes, stats);
       } else {
@@ -254,8 +260,7 @@ StatusOr<size_t> EasyIoFs::ReadInternal(Inode& in, uint64_t off,
 
   // DMA path: holes are zero-filled by the CPU, mapped ranges become one
   // batch of read descriptors.
-  std::vector<dma::Descriptor> batch;
-  for (const ByteRange& r : ranges) {
+  for (const ByteRange& r : scratch->ranges) {
     if (r.hole) {
       FillZero(buf.data() + r.buf_off, r.bytes, stats);
       continue;
@@ -265,24 +270,26 @@ StatusOr<size_t> EasyIoFs::ReadInternal(Inode& in, uint64_t off,
     d.pmem_off = r.pmem_off;
     d.dram = buf.data() + r.buf_off;
     d.size = static_cast<uint32_t>(r.bytes);
-    batch.push_back(std::move(d));
+    scratch->batch.push_back(std::move(d));
   }
   reads_offloaded_++;
-  if (batch.empty()) {
+  if (scratch->batch.empty()) {
     in.lock.ReadUnlock();
     OnReadDone(in);
     Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
     return n;
   }
-  std::vector<dma::Sn> sns;
-  Timed(stats, &fs::OpStats::data_ns,
-        [&] { sns = ch->SubmitBatch(std::move(batch)); });
+  Timed(stats, &fs::OpStats::data_ns, [&] {
+    ch->SubmitBatch(std::span<dma::Descriptor>(scratch->batch),
+                    &scratch->sns);
+  });
+  const dma::Sn last_sn = scratch->sns.back();
   in.lock.ReadUnlock();  // reads only touch timestamps; unlock at once
   Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
 
   Charge(stats, &fs::OpStats::data_ns, params().uthread_switch_ns);
   const sim::SimTime t0 = sim()->now();
-  ch->WaitSn(sns.back());
+  ch->WaitSn(last_sn);
   if (stats != nullptr) {
     const uint64_t waited = sim()->now() - t0;
     stats->blocked_ns += waited;

@@ -78,6 +78,12 @@ class EasyIoFs : public nova::NovaFs {
   StatusOr<size_t> WriteMemcpy(Inode& in, uint64_t off,
                                std::span<const std::byte> buf,
                                fs::OpStats* stats);
+  // Maps the user buffer onto the allocated extents: one range per
+  // contiguous extent (never a hole), honoring the unaligned head offset.
+  // Appends to *out (not cleared).
+  static void ChunkifyInto(const std::vector<nova::Extent>& extents,
+                           uint64_t off, size_t n,
+                           std::vector<ByteRange>* out);
 
   EasyOptions easy_;
   ChannelManager* cm_ = nullptr;

@@ -23,7 +23,8 @@ BlockAllocator::BlockAllocator(uint64_t area_off, uint64_t num_blocks,
       break;
     }
     const uint64_t pages = std::min(remaining, pages_per_shard);
-    shard.emplace(off, pages);
+    shard.runs.push_back(Run{off, pages});
+    shard.max_run = pages;
     off += pages * kBlockSize;
     remaining -= pages;
   }
@@ -41,85 +42,124 @@ StatusOr<Extent> BlockAllocator::Alloc(uint64_t pages, int shard_hint) {
   assert(!in_recovery_);
   const int n = static_cast<int>(shards_.size());
   int start = ((shard_hint % n) + n) % n;
-  // First pass: an extent large enough anywhere, preferring the hint shard.
+  // First pass: first fit (lowest offset) in the hint shard, then the
+  // others. Shards whose cached largest-run bound rules them out are
+  // skipped — the scan would have failed there anyway.
   for (int probe = 0; probe < n; ++probe) {
-    auto& shard = shards_[static_cast<size_t>((start + probe) % n)];
-    for (auto it = shard.begin(); it != shard.end(); ++it) {
-      if (it->second >= pages) {
-        Extent e{it->first, pages};
-        const uint64_t rest = it->second - pages;
-        const uint64_t rest_off = it->first + pages * kBlockSize;
-        shard.erase(it);
-        if (rest > 0) {
-          shard.emplace(rest_off, rest);
+    Shard& shard = shards_[static_cast<size_t>((start + probe) % n)];
+    if (shard.max_run < pages) {
+      continue;
+    }
+    uint64_t seen_max = 0;
+    bool found = false;
+    for (Run& run : shard.runs) {
+      if (run.pages >= pages) {
+        found = true;
+        const Extent e{run.off, pages};
+        run.off += pages * kBlockSize;
+        run.pages -= pages;
+        if (run.pages == 0) {
+          shard.runs.erase(shard.runs.begin() + (&run - shard.runs.data()));
         }
         free_pages_ -= pages;
         return e;
       }
+      seen_max = std::max(seen_max, run.pages);
+    }
+    if (!found) {
+      shard.max_run = seen_max;  // tighten the bound for future requests
     }
   }
   // Second pass: take the largest available extent (fragmented device).
-  std::map<uint64_t, uint64_t>* best_shard = nullptr;
-  std::map<uint64_t, uint64_t>::iterator best;
+  Shard* best_shard = nullptr;
+  size_t best_idx = 0;
   uint64_t best_pages = 0;
-  for (auto& shard : shards_) {
-    for (auto it = shard.begin(); it != shard.end(); ++it) {
-      if (it->second > best_pages) {
-        best_pages = it->second;
-        best = it;
+  for (Shard& shard : shards_) {
+    uint64_t shard_max = 0;
+    for (size_t i = 0; i < shard.runs.size(); ++i) {
+      shard_max = std::max(shard_max, shard.runs[i].pages);
+      if (shard.runs[i].pages > best_pages) {
+        best_pages = shard.runs[i].pages;
+        best_idx = i;
         best_shard = &shard;
       }
     }
+    shard.max_run = shard_max;  // exact, we just scanned everything
   }
   if (best_shard == nullptr) {
     return NoSpace("block allocator exhausted");
   }
-  Extent e{best->first, best_pages};
-  best_shard->erase(best);
+  const Extent e{best_shard->runs[best_idx].off, best_pages};
+  best_shard->runs.erase(best_shard->runs.begin() +
+                         static_cast<ptrdiff_t>(best_idx));
   free_pages_ -= best_pages;
   return e;
+}
+
+Status BlockAllocator::AllocMultiInto(uint64_t pages, int shard_hint,
+                                      std::vector<Extent>* out) {
+  const size_t first = out->size();
+  uint64_t remaining = pages;
+  while (remaining > 0) {
+    auto e = Alloc(remaining, shard_hint);
+    if (!e.ok()) {
+      for (size_t i = first; i < out->size(); ++i) {
+        Free((*out)[i]);
+      }
+      out->resize(first);
+      return e.status();
+    }
+    remaining -= e->pages;
+    out->push_back(*e);
+  }
+  return OkStatus();
 }
 
 StatusOr<std::vector<Extent>> BlockAllocator::AllocMulti(uint64_t pages,
                                                          int shard_hint) {
   std::vector<Extent> extents;
-  uint64_t remaining = pages;
-  while (remaining > 0) {
-    auto e = Alloc(remaining, shard_hint);
-    if (!e.ok()) {
-      for (const Extent& got : extents) {
-        Free(got);
-      }
-      return e.status();
-    }
-    remaining -= e->pages;
-    extents.push_back(*e);
-  }
+  EASYIO_RETURN_IF_ERROR(AllocMultiInto(pages, shard_hint, &extents));
   return extents;
 }
 
-void BlockAllocator::FreeIntoShard(std::map<uint64_t, uint64_t>& shard,
-                                   uint64_t off, uint64_t pages) {
-  auto next = shard.lower_bound(off);
-  // Coalesce with predecessor.
-  if (next != shard.begin()) {
+void BlockAllocator::FreeIntoShard(Shard& shard, uint64_t off,
+                                   uint64_t pages) {
+  auto& runs = shard.runs;
+  auto next = std::lower_bound(
+      runs.begin(), runs.end(), off,
+      [](const Run& r, uint64_t v) { return r.off < v; });
+  bool merged_prev = false;
+  if (next != runs.begin()) {
     auto prev = std::prev(next);
-    assert(prev->first + prev->second * kBlockSize <= off && "double free");
-    if (prev->first + prev->second * kBlockSize == off) {
-      off = prev->first;
-      pages += prev->second;
-      shard.erase(prev);
+    assert(prev->off + prev->pages * kBlockSize <= off && "double free");
+    if (prev->off + prev->pages * kBlockSize == off) {
+      prev->pages += pages;
+      off = prev->off;
+      pages = prev->pages;
+      merged_prev = true;
+      next = prev + 1;
     }
   }
-  // Coalesce with successor.
-  if (next != shard.end()) {
-    assert(off + pages * kBlockSize <= next->first && "double free");
-    if (off + pages * kBlockSize == next->first) {
-      pages += next->second;
-      shard.erase(next);
+  if (next != runs.end()) {
+    assert(off + pages * kBlockSize <= next->off && "double free");
+    if (off + pages * kBlockSize == next->off) {
+      if (merged_prev) {
+        // prev absorbed the freed range; absorb next into prev too.
+        std::prev(next)->pages += next->pages;
+        pages += next->pages;
+        runs.erase(next);
+      } else {
+        next->off = off;
+        next->pages += pages;
+        pages = next->pages;
+        merged_prev = true;
+      }
     }
   }
-  shard.emplace(off, pages);
+  if (!merged_prev) {
+    runs.insert(next, Run{off, pages});
+  }
+  shard.max_run = std::max(shard.max_run, pages);
 }
 
 void BlockAllocator::Free(const Extent& e) {
@@ -137,7 +177,8 @@ void BlockAllocator::Free(const Extent& e) {
 void BlockAllocator::BeginRecovery() {
   in_recovery_ = true;
   for (auto& shard : shards_) {
-    shard.clear();
+    shard.runs.clear();
+    shard.max_run = 0;
   }
   free_pages_ = 0;
   used_bitmap_.assign(total_pages_, false);

@@ -160,6 +160,7 @@ Status NovaFs::RecoverInode(uint64_t slot) {
   }
   in->log_next = in->log_tail;
 
+  std::vector<Extent> replay_displaced;
   uint64_t page = in->log_head;
   bool done = in->log_tail == 0;
   while (!done && page != 0) {
@@ -186,10 +187,10 @@ Status NovaFs::RecoverInode(uint64_t slot) {
             recovery_discarded_entries_++;
             break;
           }
-          std::vector<Extent> displaced =
-              in->pages.Insert(e->pgoff, e->num_pages, e->block_off, 0);
           // Displaced blocks become free simply by not being marked used.
-          (void)displaced;
+          replay_displaced.clear();
+          in->pages.Insert(e->pgoff, e->num_pages, e->block_off, 0,
+                           &replay_displaced);
           in->size = std::max(in->size, e->new_size);
           in->mtime_ns = std::max(in->mtime_ns, e->mtime_ns);
           break;
@@ -235,11 +236,12 @@ Status NovaFs::RecoverInode(uint64_t slot) {
   }
 
   // Mark live data blocks.
-  for (const auto& seg : in->pages.Lookup(0, UINT64_MAX / kBlockSize)) {
-    if (!seg.hole) {
-      allocator_->MarkUsed(seg.block_off, seg.pages);
-    }
-  }
+  in->pages.ForEachSegment(0, UINT64_MAX / kBlockSize,
+                           [this](const PageMap::Segment& seg) {
+                             if (!seg.hole) {
+                               allocator_->MarkUsed(seg.block_off, seg.pages);
+                             }
+                           });
   inodes_.emplace(in->ino, std::move(in));
   return OkStatus();
 }
@@ -312,17 +314,17 @@ void NovaFs::CommitLogTail(Inode& in, fs::OpStats* stats) {
 
 // ----------------------------------------------------------- write helpers --
 
-StatusOr<std::vector<Extent>> NovaFs::AllocBlocks(uint64_t pages,
-                                                  fs::OpStats* stats) {
+Status NovaFs::AllocBlocks(uint64_t pages, fs::OpStats* stats,
+                           std::vector<Extent>* out) {
   const int hint = sim_->current() != nullptr ? sim_->current()->core() : 0;
-  auto extents = allocator_->AllocMulti(pages, hint);
-  if (extents.ok()) {
+  const Status st = allocator_->AllocMultiInto(pages, hint, out);
+  if (st.ok()) {
     // Per-write fixed bookkeeping (inode update, VFS write path) plus the
     // per-page allocator cost.
     Charge(stats, &fs::OpStats::meta_ns,
            params().meta_write_fixed_ns + params().alloc_per_page_ns * pages);
   }
-  return extents;
+  return st;
 }
 
 void NovaFs::FillWriteEdges(Inode& in, uint64_t off, size_t n,
@@ -355,12 +357,20 @@ void NovaFs::FillWriteEdges(Inode& in, uint64_t off, size_t n,
     if (bytes == 0) {
       return;
     }
-    const auto segs = in.pages.Lookup(pg, 1);
+    // A single page resolves to exactly one segment: mapped or hole.
+    uint64_t src_block = 0;
+    bool mapped = false;
+    in.pages.ForEachSegment(pg, 1, [&](const PageMap::Segment& seg) {
+      if (!seg.hole) {
+        mapped = true;
+        src_block = seg.block_off;
+      }
+    });
     const uint64_t dst = block_of(pg) + in_page_off;
-    if (segs.size() == 1 && !segs[0].hole) {
+    if (mapped) {
       // pmem-to-pmem preserve copy; charged as CPU data movement.
-      std::memcpy(mem_->raw() + dst,
-                  mem_->raw() + segs[0].block_off + in_page_off, bytes);
+      std::memcpy(mem_->raw() + dst, mem_->raw() + src_block + in_page_off,
+                  bytes);
       Charge(stats, &fs::OpStats::data_ns,
              TransferNs(bytes, params().cpu_read_cap.at_4k));
     } else {
@@ -410,17 +420,16 @@ Status NovaFs::CommitWrite(Inode& in, uint64_t off, size_t n,
   CommitLogTail(in, stats);
 
   // DRAM state.
-  std::vector<Extent> displaced;
+  ScratchLease scratch(this);
   pg = off / kBlockSize;
   for (size_t i = 0; i < extents.size(); ++i) {
-    auto d = in.pages.Insert(pg, extents[i].pages, extents[i].block_off,
-                             sns[i].Pack());
-    displaced.insert(displaced.end(), d.begin(), d.end());
+    in.pages.Insert(pg, extents[i].pages, extents[i].block_off,
+                    sns[i].Pack(), &scratch->displaced);
     pg += extents[i].pages;
   }
   in.size = new_size;
   in.mtime_ns = mtime;
-  ReleaseBlocks(in, std::move(displaced));
+  ReleaseBlocks(in, scratch->displaced);
   return OkStatus();
 }
 
@@ -547,7 +556,7 @@ void NovaFs::MaybeCompactLog(Inode& in, fs::OpStats* stats) {
   }
 }
 
-void NovaFs::ReleaseBlocks(Inode& in, std::vector<Extent> displaced) {
+void NovaFs::ReleaseBlocks(Inode& in, const std::vector<Extent>& displaced) {
   if (in.pending_reads > 0) {
     in.deferred_free.insert(in.deferred_free.end(), displaced.begin(),
                             displaced.end());
@@ -574,9 +583,9 @@ void NovaFs::FillZero(std::byte* dst, size_t n, fs::OpStats* stats) {
   Charge(stats, &fs::OpStats::data_ns, TransferNs(n, 12.0));  // DRAM memset
 }
 
-std::vector<NovaFs::ByteRange> NovaFs::SegmentsToByteRanges(
-    const std::vector<PageMap::Segment>& segs, uint64_t off, size_t n) {
-  std::vector<ByteRange> out;
+void NovaFs::SegmentsToByteRanges(const std::vector<PageMap::Segment>& segs,
+                                  uint64_t off, size_t n,
+                                  std::vector<ByteRange>* out) {
   const uint64_t end = off + n;
   for (const auto& seg : segs) {
     const uint64_t seg_begin = seg.pgoff * kBlockSize;
@@ -591,9 +600,27 @@ std::vector<NovaFs::ByteRange> NovaFs::SegmentsToByteRanges(
     r.bytes = hi - lo;
     r.hole = seg.hole;
     r.pmem_off = seg.hole ? 0 : seg.block_off + (lo - seg_begin);
-    out.push_back(r);
+    out->push_back(r);
   }
-  return out;
+}
+
+NovaFs::OpScratch* NovaFs::AcquireScratch() {
+  if (scratch_pool_.empty()) {
+    return new OpScratch();
+  }
+  OpScratch* s = scratch_pool_.back().release();
+  scratch_pool_.pop_back();
+  s->segs.clear();
+  s->ranges.clear();
+  s->extents.clear();
+  s->displaced.clear();
+  s->sns.clear();
+  s->batch.clear();
+  return s;
+}
+
+void NovaFs::ReleaseScratch(OpScratch* s) {
+  scratch_pool_.emplace_back(s);
 }
 
 // ------------------------------------------------------------- data paths ---
@@ -625,18 +652,19 @@ StatusOr<size_t> NovaFs::WriteInternal(Inode& in, uint64_t off,
   Charge(stats, &fs::OpStats::index_ns,
          params().index_base_ns + params().index_per_page_ns * pages);
 
-  auto extents = AllocBlocks(pages, stats);
-  if (!extents.ok()) {
+  ScratchLease scratch(this);
+  const Status alloc_st = AllocBlocks(pages, stats, &scratch->extents);
+  if (!alloc_st.ok()) {
     in.lock.WriteUnlock();
     Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
-    return extents.status();
+    return alloc_st;
   }
-  FillWriteEdges(in, off, n, *extents, stats);
+  FillWriteEdges(in, off, n, scratch->extents, stats);
 
   // NOVA order: data first (synchronously, via the mover hook)...
   size_t copied = 0;
   const uint64_t head = off % kBlockSize;
-  for (const Extent& e : *extents) {
+  for (const Extent& e : scratch->extents) {
     const uint64_t ext_bytes = e.pages * kBlockSize;
     const uint64_t skip = copied == 0 ? head : 0;
     const size_t chunk =
@@ -647,8 +675,9 @@ StatusOr<size_t> NovaFs::WriteInternal(Inode& in, uint64_t off,
   assert(copied == n);
 
   // ...then strictly ordered metadata commit.
-  std::vector<dma::Sn> sns(extents->size(), dma::Sn::None());
-  const Status st = CommitWrite(in, off, n, *extents, sns, stats);
+  scratch->sns.assign(scratch->extents.size(), dma::Sn::None());
+  const Status st =
+      CommitWrite(in, off, n, scratch->extents, scratch->sns, stats);
   in.lock.WriteUnlock();
   Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
   if (!st.ok()) {
@@ -672,10 +701,12 @@ StatusOr<size_t> NovaFs::ReadInternal(Inode& in, uint64_t off,
 
   Charge(stats, &fs::OpStats::index_ns,
          params().index_base_ns + params().index_per_page_ns * pages);
-  const auto segs = in.pages.Lookup(first_pg, pages);
+  ScratchLease scratch(this);
+  in.pages.LookupInto(first_pg, pages, &scratch->segs);
   in.pending_reads++;
 
-  for (const ByteRange& r : SegmentsToByteRanges(segs, off, n)) {
+  SegmentsToByteRanges(scratch->segs, off, n, &scratch->ranges);
+  for (const ByteRange& r : scratch->ranges) {
     if (r.hole) {
       FillZero(buf.data() + r.buf_off, r.bytes, stats);
     } else {

@@ -172,9 +172,10 @@ class NovaFs : public fs::FileSystem {
   // Commits in.log_next as the new persistent tail.
   void CommitLogTail(Inode& in, fs::OpStats* stats);
 
-  // Allocates CoW extents for `pages`, charging allocator cost.
-  StatusOr<std::vector<Extent>> AllocBlocks(uint64_t pages,
-                                            fs::OpStats* stats);
+  // Allocates CoW extents for `pages` into *out (appended, not cleared),
+  // charging allocator cost.
+  Status AllocBlocks(uint64_t pages, fs::OpStats* stats,
+                     std::vector<Extent>* out);
   // Copies the preserved head/tail bytes of a partially overwritten edge
   // page from the old mapping into the new blocks.
   void FillWriteEdges(Inode& in, uint64_t off, size_t n,
@@ -199,7 +200,7 @@ class NovaFs : public fs::FileSystem {
 
   // Deferred free: displaced blocks are freed immediately when no reads are
   // in flight, else parked until the last one drains.
-  void ReleaseBlocks(Inode& in, std::vector<Extent> displaced);
+  void ReleaseBlocks(Inode& in, const std::vector<Extent>& displaced);
   void OnReadDone(Inode& in);
 
   // Zero-fill for holes (DRAM-side memset, charged at DRAM speed).
@@ -213,8 +214,42 @@ class NovaFs : public fs::FileSystem {
     size_t bytes;
     bool hole;
   };
-  static std::vector<ByteRange> SegmentsToByteRanges(
-      const std::vector<PageMap::Segment>& segs, uint64_t off, size_t n);
+  // Appends the intersected ranges to *out (which is not cleared).
+  static void SegmentsToByteRanges(const std::vector<PageMap::Segment>& segs,
+                                   uint64_t off, size_t n,
+                                   std::vector<ByteRange>* out);
+
+  // ---- per-operation scratch buffers ----
+  // The read/write hot paths materialize small vectors (segments, byte
+  // ranges, extents, SNs, DMA descriptors). Allocating them per operation
+  // dominates the simulator's real-time cost, so operations lease a scratch
+  // set from a free list instead: capacity persists across operations, and
+  // after warmup the steady-state data paths perform no heap allocation.
+  // One lease per in-flight operation — a leased set is never shared, so
+  // scratch contents survive the task switches inside a modeled operation.
+  struct OpScratch {
+    std::vector<PageMap::Segment> segs;
+    std::vector<ByteRange> ranges;
+    std::vector<Extent> extents;
+    std::vector<Extent> displaced;
+    std::vector<dma::Sn> sns;
+    std::vector<dma::Descriptor> batch;
+  };
+  class ScratchLease {
+   public:
+    explicit ScratchLease(NovaFs* fs) : fs_(fs), s_(fs->AcquireScratch()) {}
+    ~ScratchLease() { fs_->ReleaseScratch(s_); }
+    ScratchLease(const ScratchLease&) = delete;
+    ScratchLease& operator=(const ScratchLease&) = delete;
+    OpScratch* operator->() const { return s_; }
+    OpScratch& operator*() const { return *s_; }
+
+   private:
+    NovaFs* fs_;
+    OpScratch* s_;
+  };
+  OpScratch* AcquireScratch();
+  void ReleaseScratch(OpScratch* s);
 
   pmem::SlowMemory* mem_;
   sim::Simulation* sim_;
@@ -238,6 +273,7 @@ class NovaFs : public fs::FileSystem {
   Status RecoverInode(uint64_t slot);
 
   uthread::Mutex namespace_lock_;
+  std::vector<std::unique_ptr<OpScratch>> scratch_pool_;  // free list
   std::unordered_map<uint64_t, std::unique_ptr<Inode>> inodes_;
   std::vector<uint64_t> free_slots_;
   std::vector<uint64_t> fd_table_;  // fd -> ino (0 = free)

@@ -1,122 +1,101 @@
 #include "src/nova/page_map.h"
 
-#include <algorithm>
 #include <cassert>
-
-#include "src/nova/layout.h"
 
 namespace easyio::nova {
 
-std::vector<Extent> PageMap::Insert(uint64_t pgoff, uint64_t pages,
-                                    uint64_t block_off, uint64_t sn_packed) {
+void PageMap::Insert(uint64_t pgoff, uint64_t pages, uint64_t block_off,
+                     uint64_t sn_packed, std::vector<Extent>* displaced) {
   assert(pages > 0);
   const uint64_t end = pgoff + pages;
-  std::vector<Extent> displaced;
 
-  // Trim a predecessor extent overlapping the front of the range.
-  auto it = map_.lower_bound(pgoff);
-  if (it != map_.begin()) {
-    auto prev = std::prev(it);
-    const uint64_t prev_end = prev->first + prev->second.pages;
+  size_t i = LowerBound(pgoff);
+
+  // Trim a predecessor extent overlapping the front of the range. Its pgoff
+  // is strictly below ours, so a left remnant always survives in place; a
+  // right remnant (when the old extent extends past our end) is re-inserted
+  // below together with the new extent.
+  bool have_prev_tail = false;
+  Ext prev_tail{};
+  if (i > 0) {
+    Ext& prev = exts_[i - 1];
+    const uint64_t prev_end = prev.pgoff + prev.pages;
     if (prev_end > pgoff) {
-      Node old = prev->second;
-      const uint64_t left = pgoff - prev->first;  // pages kept on the left
+      const uint64_t left = pgoff - prev.pgoff;  // pages kept on the left
       const uint64_t overlap = std::min(prev_end, end) - pgoff;
-      // Keep the left part.
-      prev->second.pages = left;
-      // Displace the overlapped middle.
-      displaced.push_back(
-          Extent{old.block_off + left * kBlockSize, overlap});
-      // Re-insert the surviving right part, if any.
+      displaced->push_back(Extent{prev.block_off + left * kBlockSize, overlap});
+      prev.pages = left;
       if (prev_end > end) {
-        map_.emplace(end, Node{prev_end - end,
-                               old.block_off + (left + overlap) * kBlockSize,
-                               old.sn_packed});
-      }
-      if (left == 0) {
-        map_.erase(prev);
+        have_prev_tail = true;
+        prev_tail = Ext{end, prev_end - end,
+                        prev.block_off + (left + overlap) * kBlockSize,
+                        prev.sn_packed};
       }
     }
   }
 
-  // Consume extents starting inside the range.
-  it = map_.lower_bound(pgoff);
-  while (it != map_.end() && it->first < end) {
-    const uint64_t node_end = it->first + it->second.pages;
+  // Consume extents starting inside the range: [i, j) are fully covered; a
+  // partially covered last extent is trimmed in place to its surviving tail.
+  size_t j = i;
+  while (j < exts_.size() && exts_[j].pgoff < end) {
+    Ext& e = exts_[j];
+    const uint64_t node_end = e.pgoff + e.pages;
     if (node_end <= end) {
-      // Fully covered.
-      displaced.push_back(Extent{it->second.block_off, it->second.pages});
-      it = map_.erase(it);
+      displaced->push_back(Extent{e.block_off, e.pages});
+      j++;
     } else {
-      // Tail survives.
-      const uint64_t overlap = end - it->first;
-      displaced.push_back(Extent{it->second.block_off, overlap});
-      Node tail{node_end - end,
-                it->second.block_off + overlap * kBlockSize,
-                it->second.sn_packed};
-      map_.erase(it);
-      map_.emplace(end, tail);
+      const uint64_t overlap = end - e.pgoff;
+      displaced->push_back(Extent{e.block_off, overlap});
+      e = Ext{end, node_end - end, e.block_off + overlap * kBlockSize,
+              e.sn_packed};
       break;
     }
   }
 
-  map_.emplace(pgoff, Node{pages, block_off, sn_packed});
-  return displaced;
-}
-
-std::vector<PageMap::Segment> PageMap::Lookup(uint64_t pgoff,
-                                              uint64_t pages) const {
-  std::vector<Segment> out;
-  if (pages == 0) {
-    return out;
-  }
-  const uint64_t end = pgoff + pages;
-  uint64_t pos = pgoff;
-
-  auto emit_hole = [&out](uint64_t at, uint64_t n) {
-    if (n > 0) {
-      out.push_back(Segment{at, n, 0, /*hole=*/true});
+  // Replace the fully covered run [i, j) with the new extent (and the
+  // predecessor's surviving tail, which starts exactly at `end`). Overwrite
+  // in place where possible so steady-state overwrites do not shift the
+  // whole suffix twice.
+  const size_t need = 1 + (have_prev_tail ? 1 : 0);
+  const size_t have = j - i;
+  if (have >= need) {
+    exts_[i] = Ext{pgoff, pages, block_off, sn_packed};
+    if (have_prev_tail) {
+      exts_[i + 1] = prev_tail;
     }
-  };
-
-  auto it = map_.lower_bound(pgoff);
-  // A predecessor may cover the start of the range.
-  if (it != map_.begin()) {
-    auto prev = std::prev(it);
-    if (prev->first + prev->second.pages > pgoff) {
-      it = prev;
+    exts_.erase(exts_.begin() + static_cast<ptrdiff_t>(i + need),
+                exts_.begin() + static_cast<ptrdiff_t>(j));
+  } else {
+    // have < need (0 or 1 slots available for 1 or 2 elements).
+    if (have == 1) {
+      exts_[i] = Ext{pgoff, pages, block_off, sn_packed};
+      if (have_prev_tail) {
+        exts_.insert(exts_.begin() + static_cast<ptrdiff_t>(i + 1), prev_tail);
+      }
+    } else {
+      Ext fresh{pgoff, pages, block_off, sn_packed};
+      if (have_prev_tail) {
+        const Ext both[2] = {fresh, prev_tail};
+        exts_.insert(exts_.begin() + static_cast<ptrdiff_t>(i), both,
+                     both + 2);
+      } else {
+        exts_.insert(exts_.begin() + static_cast<ptrdiff_t>(i), fresh);
+      }
     }
   }
-  for (; it != map_.end() && it->first < end; ++it) {
-    const uint64_t node_start = it->first;
-    const uint64_t node_end = node_start + it->second.pages;
-    const uint64_t seg_start = std::max(node_start, pos);
-    const uint64_t seg_end = std::min(node_end, end);
-    if (seg_end <= pos) {
-      continue;
-    }
-    emit_hole(pos, seg_start - pos);
-    out.push_back(Segment{
-        seg_start, seg_end - seg_start,
-        it->second.block_off + (seg_start - node_start) * kBlockSize,
-        /*hole=*/false});
-    pos = seg_end;
-  }
-  emit_hole(pos, end - pos);
-  return out;
 }
 
 void PageMap::Clear(std::vector<Extent>* freed) {
-  for (const auto& [start, node] : map_) {
-    freed->push_back(Extent{node.block_off, node.pages});
+  for (const Ext& e : exts_) {
+    freed->push_back(Extent{e.block_off, e.pages});
   }
-  map_.clear();
+  exts_.clear();
 }
 
 uint64_t PageMap::mapped_pages() const {
   uint64_t total = 0;
-  for (const auto& [start, node] : map_) {
-    total += node.pages;
+  for (const Ext& e : exts_) {
+    total += e.pages;
   }
   return total;
 }

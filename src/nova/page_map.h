@@ -1,19 +1,28 @@
 // In-DRAM block mapping of one inode: file page index -> CoW block extent.
 //
 // NOVA rebuilds this index from the inode's log at mount time; at runtime
-// every committed write entry is applied here. Insert() returns the displaced
+// every committed write entry is applied here. Insert() reports the displaced
 // block ranges so the caller can free them (immediately, or deferred while
 // asynchronous reads are still in flight — EasyIO's early lock release makes
 // that window real, see NovaFs::ReleaseBlocks).
+//
+// Layout: a sorted flat vector of non-overlapping extents. The simulator
+// calls into this structure on every read and write, so the hot paths are
+// allocation-free in steady state: Insert() appends displaced ranges into a
+// caller-supplied vector and splices the extent array in place (no node
+// allocations), and ForEachSegment() streams the resolved segments through a
+// callback instead of materializing them. The vector-returning Insert/Lookup
+// overloads remain for cold paths (recovery, tests).
 
 #ifndef EASYIO_NOVA_PAGE_MAP_H_
 #define EASYIO_NOVA_PAGE_MAP_H_
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "src/nova/allocator.h"
+#include "src/nova/layout.h"
 
 namespace easyio::nova {
 
@@ -28,38 +37,106 @@ class PageMap {
     bool operator==(const Segment&) const = default;
   };
 
-  // Maps file pages [pgoff, pgoff+pages) to the contiguous blocks starting at
-  // block_off; returns the displaced (overwritten) block sub-extents.
-  std::vector<Extent> Insert(uint64_t pgoff, uint64_t pages,
-                             uint64_t block_off, uint64_t sn_packed);
+  // Maps file pages [pgoff, pgoff+pages) to the contiguous blocks starting
+  // at block_off; appends the displaced (overwritten) block sub-extents to
+  // *displaced (which is not cleared).
+  void Insert(uint64_t pgoff, uint64_t pages, uint64_t block_off,
+              uint64_t sn_packed, std::vector<Extent>* displaced);
 
-  // Resolves [pgoff, pgoff+pages) into contiguous segments (holes included),
-  // in ascending page order.
-  std::vector<Segment> Lookup(uint64_t pgoff, uint64_t pages) const;
+  // Convenience wrapper that materializes the displaced extents.
+  std::vector<Extent> Insert(uint64_t pgoff, uint64_t pages,
+                             uint64_t block_off, uint64_t sn_packed) {
+    std::vector<Extent> displaced;
+    Insert(pgoff, pages, block_off, sn_packed, &displaced);
+    return displaced;
+  }
+
+  // Streams the resolution of [pgoff, pgoff+pages) as contiguous segments
+  // (holes included, adjacent missing pages coalesced into one hole), in
+  // ascending page order: fn(const Segment&). Performs no allocation.
+  template <typename Fn>
+  void ForEachSegment(uint64_t pgoff, uint64_t pages, Fn&& fn) const {
+    if (pages == 0) {
+      return;
+    }
+    const uint64_t end = pgoff + pages;
+    uint64_t pos = pgoff;
+    size_t i = LowerBound(pgoff);
+    // A predecessor may cover the start of the range.
+    if (i > 0 && exts_[i - 1].pgoff + exts_[i - 1].pages > pgoff) {
+      i--;
+    }
+    for (; i < exts_.size() && exts_[i].pgoff < end; ++i) {
+      const Ext& e = exts_[i];
+      const uint64_t node_end = e.pgoff + e.pages;
+      const uint64_t seg_start = std::max(e.pgoff, pos);
+      const uint64_t seg_end = std::min(node_end, end);
+      if (seg_end <= pos) {
+        continue;
+      }
+      if (seg_start > pos) {
+        fn(Segment{pos, seg_start - pos, 0, /*hole=*/true});
+      }
+      fn(Segment{seg_start, seg_end - seg_start,
+                 e.block_off + (seg_start - e.pgoff) * kBlockSize,
+                 /*hole=*/false});
+      pos = seg_end;
+    }
+    if (pos < end) {
+      fn(Segment{pos, end - pos, 0, /*hole=*/true});
+    }
+  }
+
+  // Appends the resolved segments to *out (which is not cleared).
+  void LookupInto(uint64_t pgoff, uint64_t pages,
+                  std::vector<Segment>* out) const {
+    ForEachSegment(pgoff, pages, [out](const Segment& s) {
+      out->push_back(s);
+    });
+  }
+
+  // Convenience wrapper that materializes the segments.
+  std::vector<Segment> Lookup(uint64_t pgoff, uint64_t pages) const {
+    std::vector<Segment> out;
+    LookupInto(pgoff, pages, &out);
+    return out;
+  }
 
   // Removes every mapping, appending the freed extents to `freed`.
   void Clear(std::vector<Extent>* freed);
 
-  size_t extent_count() const { return map_.size(); }
+  // Pre-sizes the extent array (steady-state paths then never reallocate).
+  void Reserve(size_t extents) { exts_.reserve(extents); }
+
+  size_t extent_count() const { return exts_.size(); }
   uint64_t mapped_pages() const;
-  bool empty() const { return map_.empty(); }
+  bool empty() const { return exts_.empty(); }
 
   // Iterates extents in ascending page order (for log compaction).
   template <typename Fn>  // Fn(pgoff, pages, block_off)
   void ForEachExtent(Fn&& fn) const {
-    for (const auto& [start, node] : map_) {
-      fn(start, node.pages, node.block_off);
+    for (const Ext& e : exts_) {
+      fn(e.pgoff, e.pages, e.block_off);
     }
   }
 
  private:
-  struct Node {
+  struct Ext {
+    uint64_t pgoff;
     uint64_t pages;
     uint64_t block_off;
     uint64_t sn_packed;
   };
 
-  std::map<uint64_t, Node> map_;  // start page -> extent
+  // Index of the first extent with ext.pgoff >= pgoff.
+  size_t LowerBound(uint64_t pgoff) const {
+    return static_cast<size_t>(
+        std::lower_bound(exts_.begin(), exts_.end(), pgoff,
+                         [](const Ext& e, uint64_t v) { return e.pgoff < v; }) -
+        exts_.begin());
+  }
+
+  std::vector<Ext> exts_;  // sorted by pgoff, non-overlapping
 };
 
 }  // namespace easyio::nova

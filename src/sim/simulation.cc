@@ -38,12 +38,34 @@ Simulation* Simulation::Get() {
 
 // ---------------------------------------------------------------- events ----
 
+uint32_t Simulation::AcquireEventSlot() {
+  if (!free_event_slots_.empty()) {
+    const uint32_t slot = free_event_slots_.back();
+    free_event_slots_.pop_back();
+    return slot;
+  }
+  event_slots_.emplace_back();
+  return static_cast<uint32_t>(event_slots_.size() - 1);
+}
+
+void Simulation::ReleaseEventSlot(uint32_t slot) {
+  EventSlot& s = event_slots_[slot];
+  s.armed = false;
+  s.fn = nullptr;  // release captured state
+  if (++s.gen == 0) {
+    s.gen = 1;  // keep ids nonzero and distinguishable after wraparound
+  }
+  free_event_slots_.push_back(slot);
+}
+
 EventId Simulation::ScheduleAt(SimTime t, EventFn fn) {
   assert(t >= now_);
-  const EventId id = next_event_id_++;
-  events_.push(Event{t, id});
-  event_fns_.emplace(id, std::move(fn));
-  return id;
+  const uint32_t slot = AcquireEventSlot();
+  EventSlot& s = event_slots_[slot];
+  s.fn = std::move(fn);
+  s.armed = true;
+  events_.push(Event{t, next_event_seq_++, slot, s.gen});
+  return MakeEventId(slot, s.gen);
 }
 
 EventId Simulation::ScheduleAfter(uint64_t delay_ns, EventFn fn) {
@@ -51,9 +73,17 @@ EventId Simulation::ScheduleAfter(uint64_t delay_ns, EventFn fn) {
 }
 
 void Simulation::Cancel(EventId id) {
-  if (event_fns_.erase(id) > 0) {
-    cancelled_.insert(id);
+  const uint32_t raw = static_cast<uint32_t>(id >> 32);
+  if (raw == 0 || raw > event_slots_.size()) {
+    return;  // never issued (e.g. the 0 sentinel)
   }
+  const uint32_t slot = raw - 1;
+  const uint32_t gen = static_cast<uint32_t>(id);
+  EventSlot& s = event_slots_[slot];
+  if (s.gen != gen || !s.armed) {
+    return;  // already fired, cancelled, or recycled
+  }
+  ReleaseEventSlot(slot);  // the stale heap entry is skipped on pop
 }
 
 void Simulation::RunUntil(SimTime limit) {
@@ -65,15 +95,12 @@ void Simulation::RunUntil(SimTime limit) {
       break;
     }
     events_.pop();
-    if (cancelled_.erase(ev.id) > 0) {
-      continue;
+    EventSlot& s = event_slots_[ev.slot];
+    if (s.gen != ev.gen || !s.armed) {
+      continue;  // cancelled (slot already recycled)
     }
-    auto it = event_fns_.find(ev.id);
-    if (it == event_fns_.end()) {
-      continue;  // cancelled
-    }
-    EventFn fn = std::move(it->second);
-    event_fns_.erase(it);
+    EventFn fn = std::move(s.fn);
+    ReleaseEventSlot(ev.slot);
     assert(ev.time >= now_);
     now_ = ev.time;
     fn();

@@ -32,7 +32,6 @@
 #include <memory>
 #include <queue>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "src/sim/context.h"
@@ -42,6 +41,8 @@
 namespace easyio::sim {
 
 using EventFn = std::function<void()>;
+// Opaque handle for Cancel(): slot index + generation. Never 0, so callers
+// can keep 0 as a "no event pending" sentinel.
 using EventId = uint64_t;
 
 class Simulation {
@@ -140,14 +141,36 @@ class Simulation {
   uint64_t context_switches() const { return context_switches_; }
 
  private:
+  // Events live in a slab of recycled slots: the heap stores only plain
+  // {time, seq, slot, gen} records and the callback sits in the slot, so a
+  // ScheduleAt/fire cycle performs no per-event heap allocation once the
+  // slab and the heap's backing vector have warmed up (std::function's
+  // small-buffer optimization covers the hot capture shapes — two words).
+  // The generation tag makes Cancel() safe against stale ids: a slot is
+  // recycled the moment its event fires or is cancelled, and any other
+  // EventId naming it is detected by a generation mismatch.
   struct Event {
     SimTime time;
-    EventId id;
-    // Heap orders by earliest time, then lowest id (FIFO among ties).
+    uint64_t seq;  // FIFO tie-break among same-time events
+    uint32_t slot;
+    uint32_t gen;
     bool operator>(const Event& other) const {
-      return time != other.time ? time > other.time : id > other.id;
+      return time != other.time ? time > other.time : seq > other.seq;
     }
   };
+
+  struct EventSlot {
+    EventFn fn;
+    uint32_t gen = 1;
+    bool armed = false;
+  };
+
+  static EventId MakeEventId(uint32_t slot, uint32_t gen) {
+    return (static_cast<uint64_t>(slot + 1) << 32) | gen;
+  }
+
+  uint32_t AcquireEventSlot();
+  void ReleaseEventSlot(uint32_t slot);
 
   struct Core {
     std::deque<Task*> run_queue;
@@ -174,15 +197,15 @@ class Simulation {
   void SwitchOut(Directive d);     // task side: record directive, swap to host
 
   SimTime now_ = 0;
-  EventId next_event_id_ = 1;
+  uint64_t next_event_seq_ = 1;
   uint64_t next_task_id_ = 1;
   uint64_t context_switches_ = 0;
   bool stop_requested_ = false;
   bool running_loop_ = false;
 
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
-  std::unordered_map<EventId, EventFn> event_fns_;
-  std::unordered_set<EventId> cancelled_;
+  std::vector<EventSlot> event_slots_;
+  std::vector<uint32_t> free_event_slots_;
 
   std::vector<Core> cores_;
   Context host_ctx_{};

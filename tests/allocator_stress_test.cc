@@ -1,0 +1,157 @@
+// BlockAllocator stress: fragmentation churn against the flat-run shards.
+//
+// The allocator was rewritten from per-shard std::map free lists to sorted
+// flat vectors with a cached largest-run bound; these tests hammer the
+// split/coalesce logic with deterministic random churn and check the
+// invariants the filesystem depends on: page conservation, no overlapping
+// extents, and full coalescing back to one run per shard after everything
+// is freed.
+
+#include "src/nova/allocator.h"
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/common/units.h"
+#include "src/nova/layout.h"
+
+namespace easyio::nova {
+namespace {
+
+constexpr uint64_t kArea = 1_MB;
+
+// Registers every page of `e` in `used`, failing on overlap.
+void TrackPages(const Extent& e, std::set<uint64_t>* used) {
+  for (uint64_t p = 0; p < e.pages; ++p) {
+    EXPECT_TRUE(used->insert(e.block_off + p * kBlockSize).second)
+        << "page handed out twice at off=" << e.block_off + p * kBlockSize;
+  }
+}
+
+void UntrackPages(const Extent& e, std::set<uint64_t>* used) {
+  for (uint64_t p = 0; p < e.pages; ++p) {
+    EXPECT_EQ(used->erase(e.block_off + p * kBlockSize), 1u);
+  }
+}
+
+TEST(AllocatorStressTest, RandomChurnConservesPagesAndNeverOverlaps) {
+  constexpr uint64_t kBlocks = 4096;
+  BlockAllocator alloc(kArea, kBlocks, /*shards=*/8);
+  std::mt19937 rng(20240807);
+
+  std::vector<std::vector<Extent>> live;  // one entry per AllocMulti request
+  std::set<uint64_t> used;
+  uint64_t live_pages = 0;
+
+  for (int iter = 0; iter < 20000; ++iter) {
+    const bool do_alloc =
+        live.empty() || (live_pages < kBlocks / 2 && rng() % 3 != 0);
+    if (do_alloc) {
+      const uint64_t pages = 1 + rng() % 64;
+      const int hint = static_cast<int>(rng() % 8);
+      std::vector<Extent> extents;
+      const Status st = alloc.AllocMultiInto(pages, hint, &extents);
+      if (!st.ok()) {
+        ASSERT_LT(alloc.free_pages(), pages);
+        continue;
+      }
+      uint64_t got = 0;
+      for (const Extent& e : extents) {
+        ASSERT_GE(e.block_off, kArea);
+        ASSERT_LE(e.block_off + e.pages * kBlockSize,
+                  kArea + kBlocks * kBlockSize);
+        TrackPages(e, &used);
+        got += e.pages;
+      }
+      ASSERT_EQ(got, pages) << "AllocMulti under- or over-delivered";
+      live_pages += pages;
+      live.push_back(std::move(extents));
+    } else {
+      const size_t idx = rng() % live.size();
+      for (const Extent& e : live[idx]) {
+        UntrackPages(e, &used);
+        live_pages -= e.pages;
+        alloc.Free(e);
+      }
+      live.erase(live.begin() + static_cast<ptrdiff_t>(idx));
+    }
+    ASSERT_EQ(alloc.free_pages() + live_pages, kBlocks)
+        << "page conservation broken at iter " << iter;
+  }
+
+  // Release everything: the allocator must coalesce back to a fully free
+  // device from which one maximal run per shard is allocatable again.
+  for (const auto& extents : live) {
+    for (const Extent& e : extents) {
+      alloc.Free(e);
+    }
+  }
+  EXPECT_EQ(alloc.free_pages(), kBlocks);
+  auto all = alloc.AllocMulti(kBlocks, 0);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(alloc.free_pages(), 0u);
+  // 8 shards, fully coalesced: at most one extent per shard.
+  EXPECT_LE(all->size(), 8u);
+  for (const Extent& e : *all) {
+    alloc.Free(e);
+  }
+  EXPECT_EQ(alloc.free_pages(), kBlocks);
+}
+
+TEST(AllocatorStressTest, FragmentationFallbackStillDeliversEveryPage) {
+  constexpr uint64_t kBlocks = 512;
+  BlockAllocator alloc(kArea, kBlocks, /*shards=*/4);
+
+  // Fragment: allocate every page singly, then free alternate pages.
+  std::vector<Extent> singles;
+  for (uint64_t i = 0; i < kBlocks; ++i) {
+    auto e = alloc.Alloc(1, static_cast<int>(i % 4));
+    ASSERT_TRUE(e.ok());
+    ASSERT_EQ(e->pages, 1u);
+    singles.push_back(*e);
+  }
+  std::sort(singles.begin(), singles.end(),
+            [](const Extent& a, const Extent& b) {
+              return a.block_off < b.block_off;
+            });
+  uint64_t freed = 0;
+  for (size_t i = 0; i < singles.size(); i += 2) {
+    alloc.Free(singles[i]);
+    freed++;
+  }
+  ASSERT_EQ(alloc.free_pages(), freed);
+
+  // A large request must be satisfied from single-page fragments via the
+  // largest-extent fallback, without overlap and to the exact total.
+  std::set<uint64_t> used;
+  std::vector<Extent> multi;
+  ASSERT_TRUE(alloc.AllocMultiInto(freed, 0, &multi).ok());
+  uint64_t got = 0;
+  for (const Extent& e : multi) {
+    TrackPages(e, &used);
+    got += e.pages;
+  }
+  EXPECT_EQ(got, freed);
+  EXPECT_EQ(alloc.free_pages(), 0u);
+}
+
+TEST(AllocatorStressTest, FailedLargeRequestRollsBackCompletely) {
+  constexpr uint64_t kBlocks = 64;
+  BlockAllocator alloc(kArea, kBlocks, /*shards=*/2);
+  auto half = alloc.Alloc(32, 0);
+  ASSERT_TRUE(half.ok());
+
+  std::vector<Extent> out{Extent{777, 7}};  // pre-existing entry must survive
+  const Status st = alloc.AllocMultiInto(kBlocks, 0, &out);
+  EXPECT_FALSE(st.ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (Extent{777, 7}));
+  // The partial progress was returned: everything but the held half is free.
+  EXPECT_EQ(alloc.free_pages(), kBlocks - 32);
+}
+
+}  // namespace
+}  // namespace easyio::nova
