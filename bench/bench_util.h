@@ -3,7 +3,9 @@
 #ifndef EASYIO_BENCH_BENCH_UTIL_H_
 #define EASYIO_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -14,6 +16,34 @@ inline void PrintHeader(const std::string& title) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("================================================================\n");
+}
+
+// --trace=<path> / --trace-sample=<N> command-line handling, shared by the
+// figure benches that can emit a Perfetto trace (see docs/OBSERVABILITY.md).
+// `sample_every` starts from the bench's default and is overridden by the
+// flag; unknown arguments are ignored so benches keep their own flags.
+struct TraceFlags {
+  std::string path;          // empty = tracing stays off
+  uint32_t sample_every = 1;
+  bool enabled() const { return !path.empty(); }
+};
+
+inline TraceFlags ParseTraceFlags(int argc, char** argv,
+                                  uint32_t default_sample = 1) {
+  TraceFlags f;
+  f.sample_every = default_sample;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--trace=", 8) == 0) {
+      f.path = a + 8;
+    } else if (std::strncmp(a, "--trace-sample=", 15) == 0) {
+      f.sample_every = static_cast<uint32_t>(std::strtoul(a + 15, nullptr, 10));
+      if (f.sample_every == 0) {
+        f.sample_every = 1;
+      }
+    }
+  }
+  return f;
 }
 
 inline const char* SizeName(uint64_t io_size) {

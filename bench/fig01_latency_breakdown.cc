@@ -5,12 +5,14 @@
 // writes and ~95% for reads at 64K.
 
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/common/rng.h"
 #include "src/common/units.h"
 #include "src/harness/testbed.h"
+#include "src/sim/obs_session.h"
 
 namespace easyio {
 namespace {
@@ -23,12 +25,18 @@ struct Breakdown {
   double syscall_us = 0;
 };
 
-Breakdown Measure(bool is_write, uint64_t io_size) {
+Breakdown Measure(bool is_write, uint64_t io_size,
+                  const bench::TraceFlags* trace) {
   harness::TestbedConfig cfg;
   cfg.fs = harness::FsKind::kNova;
   cfg.machine_cores = 2;
   cfg.device_bytes = 256_MB;
   harness::Testbed tb(cfg);
+  std::unique_ptr<sim::TraceSession> session;
+  if (trace != nullptr && trace->enabled()) {
+    session = std::make_unique<sim::TraceSession>(trace->path,
+                                                  trace->sample_every);
+  }
 
   Breakdown out;
   constexpr int kOps = 200;
@@ -58,6 +66,9 @@ Breakdown Measure(bool is_write, uint64_t io_size) {
     }
   });
   tb.sim().Run();
+  if (session != nullptr) {
+    tb.CollectStats().Print(stderr);
+  }
   out.total_us /= kOps;
   out.meta_us /= kOps;
   out.memcpy_us /= kOps;
@@ -69,15 +80,20 @@ Breakdown Measure(bool is_write, uint64_t io_size) {
 }  // namespace
 }  // namespace easyio
 
-int main() {
+int main(int argc, char** argv) {
   using namespace easyio;
+  // --trace=<path> records the 64K-write run (the paper's headline
+  // breakdown); small op count, so every op is sampled by default.
+  const bench::TraceFlags trace =
+      bench::ParseTraceFlags(argc, argv, /*default_sample=*/1);
   bench::PrintHeader(
       "Figure 1: Latency breakdown of NOVA (single thread, us per op)");
   std::printf("%-6s %-5s %9s %9s %9s %9s %9s %8s\n", "op", "io", "total",
               "metadata", "memcpy", "indexing", "syscall", "memcpy%");
   for (bool is_write : {true, false}) {
     for (uint64_t io : {4_KB, 8_KB, 16_KB, 32_KB, 64_KB}) {
-      const auto b = Measure(is_write, io);
+      const bool traced = is_write && io == 64_KB && trace.enabled();
+      const auto b = Measure(is_write, io, traced ? &trace : nullptr);
       std::printf("%-6s %-5s %9.2f %9.2f %9.2f %9.2f %9.2f %7.1f%%\n",
                   is_write ? "write" : "read", bench::SizeName(io), b.total_us,
                   b.meta_us, b.memcpy_us, b.index_us, b.syscall_us,

@@ -9,13 +9,16 @@
 // blocking in the hardware queue).
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/common/units.h"
 #include "src/dma/dma_engine.h"
+#include "src/obs/trace.h"
 #include "src/pmem/slow_memory.h"
+#include "src/sim/obs_session.h"
 #include "src/sim/simulation.h"
 
 namespace easyio {
@@ -26,8 +29,13 @@ enum class BgMode { kMemcpy, kDmaExclusive, kDmaShared };
 constexpr uint64_t kRun = 10_s;
 constexpr uint64_t kBucket = 500_ms;
 
-std::vector<double> RunTimeline(BgMode mode) {
+std::vector<double> RunTimeline(BgMode mode, const bench::TraceFlags* trace) {
   sim::Simulation sim({.num_cores = 2});
+  std::unique_ptr<sim::TraceSession> session;
+  if (trace != nullptr && trace->enabled()) {
+    session = std::make_unique<sim::TraceSession>(trace->path,
+                                                  trace->sample_every);
+  }
   pmem::SlowMemory mem(&sim, pmem::MediaParams::OneNode(), 256_MB);
   dma::DmaEngine engine(&mem, 0, 2);
 
@@ -47,6 +55,13 @@ std::vector<double> RunTimeline(BgMode mode) {
       const dma::Sn sn = ch.Submit(std::move(d));
       ch.WaitSnBusy(sn);
       const uint64_t lat = sim.now() - t0;
+      // Per-op async span so the interference spike is visible as a band of
+      // widening fg_read spans in Perfetto (the JSON the issue's acceptance
+      // test loads).
+      if (auto* t = obs::Get(); t && t->Sample()) {
+        t->AsyncSpan(t->NextOpId(), "fg_read", t0, sim.now(),
+                     {{"lat_ns", lat}});
+      }
       const size_t bucket = std::min<size_t>(t0 / kBucket,
                                              bucket_sum.size() - 1);
       bucket_sum[bucket] += lat;
@@ -97,14 +112,19 @@ std::vector<double> RunTimeline(BgMode mode) {
 }  // namespace
 }  // namespace easyio
 
-int main() {
+int main(int argc, char** argv) {
   using namespace easyio;
+  // --trace=<path> records the DMA-SH run (the interesting one: shared-
+  // channel head-of-line blocking); default sampling keeps the file small.
+  const bench::TraceFlags trace =
+      bench::ParseTraceFlags(argc, argv, /*default_sample=*/16);
   bench::PrintHeader(
       "Figure 4: foreground 64K DMA-read latency vs background bulk mover\n"
       "(GC active during [2s,4s) and [6s,8s); avg latency per 0.5s, us)");
-  const auto memcpy_tl = RunTimeline(BgMode::kMemcpy);
-  const auto ex_tl = RunTimeline(BgMode::kDmaExclusive);
-  const auto sh_tl = RunTimeline(BgMode::kDmaShared);
+  const auto memcpy_tl = RunTimeline(BgMode::kMemcpy, nullptr);
+  const auto ex_tl = RunTimeline(BgMode::kDmaExclusive, nullptr);
+  const auto sh_tl =
+      RunTimeline(BgMode::kDmaShared, trace.enabled() ? &trace : nullptr);
   std::printf("%6s %12s %12s %12s\n", "t(s)", "BG-Memcpy", "BG-DMA-EX",
               "BG-DMA-SH");
   for (size_t i = 0; i < memcpy_tl.size(); ++i) {

@@ -11,6 +11,7 @@
 // decline as cores add lock contention.
 
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -18,16 +19,23 @@
 #include "src/common/units.h"
 #include "src/fxmark/fxmark.h"
 #include "src/harness/testbed.h"
+#include "src/sim/obs_session.h"
 
 namespace easyio {
 namespace {
 
-double WriteLatencyUs(harness::FsKind kind, uint64_t io_size) {
+double WriteLatencyUs(harness::FsKind kind, uint64_t io_size,
+                      const bench::TraceFlags* trace = nullptr) {
   harness::TestbedConfig cfg;
   cfg.fs = kind;
   cfg.machine_cores = 4;
   cfg.device_bytes = 256_MB;
   harness::Testbed tb(cfg);
+  std::unique_ptr<sim::TraceSession> session;
+  if (trace != nullptr && trace->enabled()) {
+    session = std::make_unique<sim::TraceSession>(trace->path,
+                                                  trace->sample_every);
+  }
   double total = 0;
   constexpr int kOps = 200;
   tb.sim().Spawn(0, [&] {
@@ -46,6 +54,9 @@ double WriteLatencyUs(harness::FsKind kind, uint64_t io_size) {
     }
   });
   tb.sim().Run();
+  if (session != nullptr) {
+    tb.CollectStats().Print(stderr);
+  }
   return total / kOps;
 }
 
@@ -109,15 +120,21 @@ double DwomThroughputKops(harness::FsKind kind, int cores) {
 }  // namespace
 }  // namespace easyio
 
-int main() {
+int main(int argc, char** argv) {
   using namespace easyio;
+  // --trace=<path> records the EasyIO 64K single-thread run: every orderless
+  // write's commit / l1_hold / sn_wait phases, unsampled.
+  const bench::TraceFlags trace =
+      bench::ParseTraceFlags(argc, argv, /*default_sample=*/1);
   bench::PrintHeader("Figure 11 (left): orderless file operation — "
                      "single-thread write latency (us)");
   std::printf("%-8s %10s %10s %8s\n", "io", "EasyIO", "Naive", "gain");
   double gain_sum = 0;
   int gain_n = 0;
   for (uint64_t io : {4_KB, 8_KB, 16_KB, 32_KB, 64_KB}) {
-    const double easy = WriteLatencyUs(harness::FsKind::kEasy, io);
+    const bool traced = io == 64_KB && trace.enabled();
+    const double easy =
+        WriteLatencyUs(harness::FsKind::kEasy, io, traced ? &trace : nullptr);
     const double naive = WriteLatencyUs(harness::FsKind::kEasyNaive, io);
     const double gain = 100.0 * (naive - easy) / naive;
     gain_sum += gain;

@@ -15,6 +15,7 @@
 // throttling caps the spike ~40% lower.
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "src/common/rng.h"
 #include "src/common/units.h"
 #include "src/harness/testbed.h"
+#include "src/sim/obs_session.h"
 
 namespace easyio {
 namespace {
@@ -38,7 +40,8 @@ bool GcActive(sim::SimTime t) {
   return (t >= 2_s && t < 4_s) || (t >= 6_s && t < 8_s);
 }
 
-std::vector<double> RunPolicy(Policy policy) {
+std::vector<double> RunPolicy(Policy policy,
+                              const bench::TraceFlags* trace = nullptr) {
   harness::TestbedConfig cfg;
   cfg.fs = harness::FsKind::kEasy;
   cfg.machine_cores = 8;
@@ -47,6 +50,11 @@ std::vector<double> RunPolicy(Policy policy) {
   cfg.cm_options.delta_gbps = 0.0;         // fixed limit for this figure
   harness::Testbed tb(cfg);
   auto& sim = tb.sim();
+  std::unique_ptr<sim::TraceSession> session;
+  if (trace != nullptr && trace->enabled()) {
+    session = std::make_unique<sim::TraceSession>(trace->path,
+                                                  trace->sample_every);
+  }
 
   // Web content.
   std::vector<int> fds;
@@ -110,6 +118,9 @@ std::vector<double> RunPolicy(Policy policy) {
   });
 
   sim.RunUntil(kRun + 10_ms);
+  if (session != nullptr) {
+    tb.CollectStats().Print(stderr);
+  }
   std::vector<double> timeline;
   for (uint64_t v : bucket_max) {
     timeline.push_back(static_cast<double>(v) / 1e3);
@@ -120,14 +131,18 @@ std::vector<double> RunPolicy(Policy policy) {
 }  // namespace
 }  // namespace easyio
 
-int main() {
+int main(int argc, char** argv) {
   using namespace easyio;
+  // --trace=<path> records the DMA-Throttling run: epoch ticks,
+  // budget_suspend decisions and the B channel's CHANCMD suspension windows.
+  const bench::TraceFlags trace =
+      bench::ParseTraceFlags(argc, argv, /*default_sample=*/32);
   bench::PrintHeader(
       "Figure 12: web-server max latency per 0.5s (us) with a colocated GC\n"
       "(GC active during [2s,4s) and [6s,8s); B-app limit 2 GiB/s)");
   const auto none = RunPolicy(Policy::kNone);
   const auto cpu = RunPolicy(Policy::kCpu);
-  const auto dma = RunPolicy(Policy::kDma);
+  const auto dma = RunPolicy(Policy::kDma, trace.enabled() ? &trace : nullptr);
   std::printf("%6s %15s %15s %15s\n", "t(s)", "No-Throttling",
               "CPU-Throttling", "DMA-Throttling");
   for (size_t i = 0; i < none.size(); ++i) {

@@ -29,10 +29,12 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/common/rng.h"
 #include "src/common/units.h"
 #include "src/fxmark/fxmark.h"
@@ -40,6 +42,7 @@
 #include "src/nova/allocator.h"
 #include "src/nova/layout.h"
 #include "src/nova/page_map.h"
+#include "src/sim/obs_session.h"
 #include "src/sim/simulation.h"
 
 namespace easyio {
@@ -63,11 +66,19 @@ uint64_t NowNs() {
 
 CaseResult RunFxmark(const std::string& name, harness::FsKind fs,
                      fxmark::Workload wl, uint64_t io_size,
-                     uint64_t measure_ns, int repeats) {
+                     uint64_t measure_ns, int repeats,
+                     const bench::TraceFlags* trace = nullptr) {
   CaseResult out;
   out.name = name;
   double best = 1e18;
   for (int r = 0; r < repeats; ++r) {
+    // Trace the first repeat only; the tracer's host-side cost inflates that
+    // repeat's wall clock, but min-of-repeats sheds it when repeats > 1.
+    std::unique_ptr<sim::TraceSession> session;
+    if (r == 0 && trace != nullptr && trace->enabled()) {
+      session = std::make_unique<sim::TraceSession>(trace->path,
+                                                    trace->sample_every);
+    }
     fxmark::RunConfig cfg;
     cfg.fs = fs;
     cfg.workload = wl;
@@ -285,6 +296,10 @@ int main(int argc, char** argv) {
   bool as_baseline = false;
   int repeats = 3;
   std::string out_path = "BENCH_report.json";
+  // --trace records the easyio_dwal_write_64k case's first repeat; heavy
+  // sampling by default, this case runs hundreds of thousands of ops.
+  const bench::TraceFlags trace =
+      bench::ParseTraceFlags(argc, argv, /*default_sample=*/32);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -294,10 +309,13 @@ int main(int argc, char** argv) {
       repeats = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace", 7) == 0) {
+      // handled by ParseTraceFlags
     } else {
       std::fprintf(stderr,
                    "usage: perf_harness [--smoke] [--as-baseline] "
-                   "[--repeats N] [--out PATH]\n");
+                   "[--repeats N] [--out PATH] [--trace=PATH] "
+                   "[--trace-sample=N]\n");
       return 2;
     }
   }
@@ -328,7 +346,10 @@ int main(int argc, char** argv) {
        fxmark::Workload::kDRBL, 64_KB},
   };
   for (const auto& fx : kFxCases) {
-    cases.push_back(RunFxmark(fx.name, fx.fs, fx.wl, fx.io, measure, repeats));
+    const bool traced =
+        trace.enabled() && std::strcmp(fx.name, "easyio_dwal_write_64k") == 0;
+    cases.push_back(RunFxmark(fx.name, fx.fs, fx.wl, fx.io, measure, repeats,
+                              traced ? &trace : nullptr));
     std::printf("%-28s %10.1f ns/op  (sim_ratio %.3f, %llu ops)\n",
                 cases.back().name.c_str(), cases.back().wall_ns_per_op,
                 cases.back().sim_ratio,

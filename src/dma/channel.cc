@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/obs/trace.h"
+
 namespace easyio::dma {
 
 Channel::Channel(pmem::SlowMemory* mem, uint8_t id, uint64_t record_off)
@@ -51,7 +53,11 @@ Sn Channel::Enqueue(Descriptor desc) {
   }
   const Sn sn = Sn::Make(id_, pending.cnt, pending.slot);
   pending.desc = std::move(desc);
+  pending.enqueue_time = sim_->now();
   queue_.push_back(std::move(pending));
+  OBS_EVENT_SAMPLED(obs::Track(obs::kProcDma, id_), "submit",
+                    {"bytes", queue_.back().desc.size},
+                    {"qdepth", queue_.size()});
   return sn;
 }
 
@@ -140,6 +146,18 @@ void Channel::OnTransferDone() {
   Pending done = std::move(queue_.front());
   queue_.pop_front();
 
+  if (auto* t = obs::Get(); t != nullptr && t->Sample()) {
+    const bool is_write = done.desc.dir == Descriptor::Dir::kWrite;
+    t->CompleteSpan(obs::Track(obs::kProcDma, id_),
+                    is_write ? "xfer_write" : "xfer_read",
+                    done.transfer_start, sim_->now(),
+                    {{"bytes", done.desc.size},
+                     {"queued_ns", done.transfer_start - done.enqueue_time},
+                     {"qdepth", queue_.size()}});
+    t->Counter(obs::Track(obs::kProcDma, id_), "qdepth", sim_->now(),
+               queue_.size());
+  }
+
   // Post-descriptor housekeeping keeps the channel busy for a
   // direction-dependent fraction of the transfer time (see MediaParams);
   // the requester already observes completion now.
@@ -184,6 +202,7 @@ void Channel::Suspend() {
     return;
   }
   suspended_ = true;
+  suspend_start_ = sim_->now();
   if (sim_->in_task()) {
     sim_->Advance(mem_->params().chancmd_ns);
   }
@@ -202,6 +221,8 @@ void Channel::Suspend() {
         mem_->SetInflightFlow(head.inflight_token, nullptr, 0);
       }
       engine_busy_ = false;
+      OBS_EVENT(obs::Track(obs::kProcDmaState, id_), "xfer_restart",
+                {"bytes", head.desc.size});
     }
     // Otherwise the in-flight transfer runs to completion; no new descriptor
     // starts while suspended.
@@ -215,6 +236,12 @@ void Channel::Resume() {
   suspended_ = false;
   if (sim_->in_task()) {
     sim_->Advance(mem_->params().chancmd_ns);
+  }
+  // The CHANCMD suspension window is control-plane activity (one per epoch
+  // at most), so it is always recorded, never sampled.
+  if (auto* t = obs::Get()) {
+    t->CompleteSpan(obs::Track(obs::kProcDmaState, id_), "suspended",
+                    suspend_start_, sim_->now());
   }
   MaybeStart();
 }

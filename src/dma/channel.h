@@ -9,6 +9,17 @@
 // The channel's CompletionRecord lives in the persistent region of the
 // SlowMemory device and is updated by the "hardware" at completion time —
 // this is the object EasyIO's orderless commit and two-level locking read.
+//
+// Contract (paper §2.2, §4.2, §4.4): Submit/SubmitBatch charge the caller
+// the CPU-side doorbell cost and return an Sn that is strictly monotonic in
+// this channel's completion order; IsComplete(sn) becomes true exactly when
+// the persistent CompletionRecord covers sn and never reverts (even across
+// a crash, because a new incarnation opens a fresh CNT era above every
+// pre-crash SN). WaitSn parks the calling uthread (asynchronous consumption,
+// EasyIO) while WaitSnBusy spins holding the core (synchronous consumption,
+// NOVA-DMA/Fastmove). Suspend/Resume model CHANCMD (74ns each, §4.4): while
+// suspended no new descriptor starts, and an in-flight one either drains or
+// restarts per MediaParams::suspend_restart_threshold.
 
 #ifndef EASYIO_DMA_CHANNEL_H_
 #define EASYIO_DMA_CHANNEL_H_
@@ -101,6 +112,7 @@ class Channel {
     bool started = false;
     sim::FlowResource::FlowId flow = 0;
     sim::SimTime transfer_start = 0;
+    sim::SimTime enqueue_time = 0;  // for the trace's queued_ns attribution
   };
 
   const CompletionRecord& record() const {
@@ -121,6 +133,7 @@ class Channel {
   std::deque<Pending> queue_;
   bool engine_busy_ = false;   // startup gap or flow in progress
   bool suspended_ = false;
+  sim::SimTime suspend_start_ = 0;  // trace: open CHANCMD suspension window
   uint64_t epoch_bytes_ = 0;
   uint64_t bytes_completed_ = 0;
   uint64_t descriptors_completed_ = 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/obs/trace.h"
+
 namespace easyio::core {
 
 ChannelManager::ChannelManager(sim::Simulation* sim, dma::DmaEngine* engine,
@@ -83,6 +85,8 @@ void ChannelManager::StartThrottling() {
   throttling_ = true;
   throttle_generation_++;
   epoch_start_bytes_ = b_channel()->bytes_completed();
+  OBS_EVENT(obs::Track(obs::kProcChanMgr, 0), "throttle_start",
+            {"b_chan", options_.b_channel});
   const uint64_t gen = throttle_generation_;
   sim_->ScheduleAfter(options_.check_interval_ns, [this, gen] {
     if (gen == throttle_generation_) {
@@ -102,6 +106,7 @@ void ChannelManager::StopThrottling() {
   }
   throttling_ = false;
   throttle_generation_++;
+  OBS_EVENT(obs::Track(obs::kProcChanMgr, 0), "throttle_stop");
   if (b_channel()->suspended()) {
     b_channel()->Resume();
   }
@@ -118,6 +123,9 @@ void ChannelManager::BudgetCheck() {
   const uint64_t used = b_channel()->bytes_completed() - epoch_start_bytes_;
   if (static_cast<double>(used) >= budget_bytes &&
       !b_channel()->suspended()) {
+    OBS_EVENT(obs::Track(obs::kProcChanMgr, 0), "budget_suspend",
+              {"used_bytes", used},
+              {"budget_bytes", static_cast<uint64_t>(budget_bytes)});
     b_channel()->Suspend();
   }
   const uint64_t gen = throttle_generation_;
@@ -152,6 +160,15 @@ void ChannelManager::EpochTick() {
     }
     b_limit_gbps_ = std::clamp(b_limit_gbps_, options_.b_limit_min_gbps,
                                options_.b_limit_max_gbps);
+  }
+  // Epoch ticks are control-plane events (one per 20µs): always recorded.
+  if (auto* t = obs::Get()) {
+    const uint64_t epoch_bytes =
+        b_channel()->bytes_completed() - epoch_start_bytes_;
+    t->Instant(obs::Track(obs::kProcChanMgr, 0), "epoch", sim_->now(),
+               {{"epoch_bytes", epoch_bytes}});
+    t->Counter(obs::Track(obs::kProcChanMgr, 0), "b_limit_mbps", sim_->now(),
+               static_cast<uint64_t>(b_limit_gbps_ * 1000.0));
   }
   // New epoch: reset accounting and resume the B channel.
   epoch_start_bytes_ = b_channel()->bytes_completed();

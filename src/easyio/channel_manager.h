@@ -28,6 +28,18 @@
 
 namespace easyio::core {
 
+// Contract (paper §4.4, Listings 1 & 2): PickWriteChannel always returns an
+// L channel (writes are never denied DMA); PickReadChannel returns an L
+// channel with queue depth below
+// read_admission_qdepth or nullptr, and the caller MUST fall back to memcpy
+// on nullptr (Listing 2). SubmitBulkWrite never splits a request across
+// channels — all chunks land on the single shared B channel, preserving SN
+// monotonicity for the returned last-SN. While StartThrottling is active the
+// manager owns the B channel's Suspend/Resume: per check_interval_ns it
+// suspends once the epoch's byte budget (b_limit_gbps × epoch_ns) is spent,
+// per epoch_ns it resumes and moves the limit by delta_gbps following
+// Listing 1's min-headroom feedback. Callers must not Suspend/Resume the B
+// channel concurrently.
 class ChannelManager {
  public:
   struct Options {

@@ -2,7 +2,26 @@
 
 #include <cassert>
 
+#include "src/obs/trace.h"
+
 namespace easyio::core {
+
+namespace {
+
+// Attaches a phase span to a traced op's async timeline; no-op when the op
+// is untraced (OpStats::trace_op_id == 0) or tracing is off.
+inline void TracePhase(const fs::OpStats* stats, const char* name,
+                       sim::SimTime t0, sim::SimTime t1,
+                       std::initializer_list<obs::Arg> args = {}) {
+  if (stats == nullptr || stats->trace_op_id == 0) {
+    return;
+  }
+  if (auto* t = obs::Get()) {
+    t->AsyncSpan(stats->trace_op_id, name, t0, t1, args);
+  }
+}
+
+}  // namespace
 
 void EasyIoFs::ChunkifyInto(const std::vector<nova::Extent>& extents,
                             uint64_t off, size_t n,
@@ -31,6 +50,7 @@ StatusOr<size_t> EasyIoFs::WriteInternal(Inode& in, uint64_t off,
                                          std::span<const std::byte> buf,
                                          bool append, fs::OpStats* stats) {
   in.lock.WriteLock();
+  const sim::SimTime l1_start = sim()->now();
   if (append) {
     off = in.size;
   }
@@ -40,12 +60,16 @@ StatusOr<size_t> EasyIoFs::WriteInternal(Inode& in, uint64_t off,
   if (stats != nullptr) {
     stats->blocked_ns += l2_wait;
   }
+  if (l2_wait > 0) {
+    TracePhase(stats, "l2_wait", sim()->now() - l2_wait, sim()->now());
+  }
   MaybeCompactLog(in, stats);
   StatusOr<size_t> r =
       (buf.size() <= easy_.dma_min_bytes || cm_ == nullptr)
-          ? WriteMemcpy(in, off, buf, stats)
-          : (easy_.ordered_naive ? WriteNaive(in, off, buf, stats)
-                                 : WriteOrderless(in, off, buf, stats));
+          ? WriteMemcpy(in, off, buf, stats, l1_start)
+          : (easy_.ordered_naive
+                 ? WriteNaive(in, off, buf, stats, l1_start)
+                 : WriteOrderless(in, off, buf, stats, l1_start));
   return r;
 }
 
@@ -54,7 +78,8 @@ StatusOr<size_t> EasyIoFs::WriteInternal(Inode& in, uint64_t off,
 // EasyIO keeps the synchronous CPU path. Enters with the write lock held.
 StatusOr<size_t> EasyIoFs::WriteMemcpy(Inode& in, uint64_t off,
                                        std::span<const std::byte> buf,
-                                       fs::OpStats* stats) {
+                                       fs::OpStats* stats,
+                                       sim::SimTime l1_start) {
   const size_t n = buf.size();
   const uint64_t first_pg = off / nova::kBlockSize;
   const uint64_t pages = (off + n - 1) / nova::kBlockSize - first_pg + 1;
@@ -74,9 +99,11 @@ StatusOr<size_t> EasyIoFs::WriteMemcpy(Inode& in, uint64_t off,
       memory()->CpuWrite(c.pmem_off, buf.data() + c.buf_off, c.bytes);
     });
   }
+  AddCpuBytes(n);
   scratch->sns.assign(scratch->extents.size(), dma::Sn::None());
   const Status st =
       CommitWrite(in, off, n, scratch->extents, scratch->sns, stats);
+  TracePhase(stats, "l1_hold", l1_start, sim()->now());
   in.lock.WriteUnlock();
   Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
   writes_memcpy_++;
@@ -91,7 +118,8 @@ StatusOr<size_t> EasyIoFs::WriteMemcpy(Inode& in, uint64_t off,
 // completion record covers the SN.
 StatusOr<size_t> EasyIoFs::WriteOrderless(Inode& in, uint64_t off,
                                           std::span<const std::byte> buf,
-                                          fs::OpStats* stats) {
+                                          fs::OpStats* stats,
+                                          sim::SimTime l1_start) {
   const size_t n = buf.size();
   const uint64_t first_pg = off / nova::kBlockSize;
   const uint64_t pages = (off + n - 1) / nova::kBlockSize - first_pg + 1;
@@ -116,10 +144,14 @@ StatusOr<size_t> EasyIoFs::WriteOrderless(Inode& in, uint64_t off,
     d.size = static_cast<uint32_t>(c.bytes);
     scratch->batch.push_back(std::move(d));
   }
+  const sim::SimTime submit_t0 = sim()->now();
   Timed(stats, &fs::OpStats::data_ns, [&] {
     ch->SubmitBatch(std::span<dma::Descriptor>(scratch->batch),
                     &scratch->sns);
   });
+  TracePhase(stats, "dma_submit", submit_t0, sim()->now(),
+             {{"descs", scratch->batch.size()}, {"chan", ch->id()}});
+  AddDmaBytes(n);
 
   // Metadata commits while the DMA engine is still copying: the log entries
   // embed the SNs, so durability of the data is described indirectly.
@@ -128,6 +160,7 @@ StatusOr<size_t> EasyIoFs::WriteOrderless(Inode& in, uint64_t off,
   const dma::Sn last_sn = scratch->sns.back();
   in.pending_channel = ch;
   in.pending_sn = last_sn;
+  TracePhase(stats, "l1_hold", l1_start, sim()->now());
   in.lock.WriteUnlock();  // level-1 released before the data lands
   Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
   writes_offloaded_++;
@@ -139,6 +172,7 @@ StatusOr<size_t> EasyIoFs::WriteOrderless(Inode& in, uint64_t off,
   Charge(stats, &fs::OpStats::data_ns, params().uthread_switch_ns);
   const sim::SimTime t0 = sim()->now();
   ch->WaitSn(last_sn);
+  TracePhase(stats, "sn_wait", t0, sim()->now(), {{"chan", ch->id()}});
   if (stats != nullptr) {
     const uint64_t waited = sim()->now() - t0;
     stats->blocked_ns += waited;
@@ -151,7 +185,8 @@ StatusOr<size_t> EasyIoFs::WriteOrderless(Inode& in, uint64_t off,
 // lock held across the DMA wait.
 StatusOr<size_t> EasyIoFs::WriteNaive(Inode& in, uint64_t off,
                                       std::span<const std::byte> buf,
-                                      fs::OpStats* stats) {
+                                      fs::OpStats* stats,
+                                      sim::SimTime l1_start) {
   const size_t n = buf.size();
   const uint64_t first_pg = off / nova::kBlockSize;
   const uint64_t pages = (off + n - 1) / nova::kBlockSize - first_pg + 1;
@@ -176,10 +211,14 @@ StatusOr<size_t> EasyIoFs::WriteNaive(Inode& in, uint64_t off,
     d.size = static_cast<uint32_t>(c.bytes);
     scratch->batch.push_back(std::move(d));
   }
+  const sim::SimTime submit_t0 = sim()->now();
   Timed(stats, &fs::OpStats::data_ns, [&] {
     ch->SubmitBatch(std::span<dma::Descriptor>(scratch->batch),
                     &scratch->sns);
   });
+  TracePhase(stats, "dma_submit", submit_t0, sim()->now(),
+             {{"descs", scratch->batch.size()}, {"chan", ch->id()}});
+  AddDmaBytes(n);
   const dma::Sn last_sn = scratch->sns.back();
 
   // First interaction returns (lock still held!); the uthread parks.
@@ -187,6 +226,7 @@ StatusOr<size_t> EasyIoFs::WriteNaive(Inode& in, uint64_t off,
   Charge(stats, &fs::OpStats::data_ns, params().uthread_switch_ns);
   const sim::SimTime t0 = sim()->now();
   ch->WaitSn(last_sn);
+  TracePhase(stats, "sn_wait", t0, sim()->now(), {{"chan", ch->id()}});
   if (stats != nullptr) {
     const uint64_t waited = sim()->now() - t0;
     stats->blocked_ns += waited;
@@ -200,6 +240,7 @@ StatusOr<size_t> EasyIoFs::WriteNaive(Inode& in, uint64_t off,
   scratch->sns.assign(scratch->extents.size(), dma::Sn::None());
   const Status st =
       CommitWrite(in, off, n, scratch->extents, scratch->sns, stats);
+  TracePhase(stats, "l1_hold", l1_start, sim()->now());
   in.lock.WriteUnlock();
   Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
   writes_offloaded_++;
@@ -213,10 +254,14 @@ StatusOr<size_t> EasyIoFs::ReadInternal(Inode& in, uint64_t off,
                                         std::span<std::byte> buf,
                                         fs::OpStats* stats) {
   in.lock.ReadLock();
+  const sim::SimTime l1_start = sim()->now();
   // Level-2: wait out a conflicting unfinished write (§4.3, Fig 7b).
   const uint64_t l2_wait = WaitPendingWrite(in);
   if (stats != nullptr) {
     stats->blocked_ns += l2_wait;
+  }
+  if (l2_wait > 0) {
+    TracePhase(stats, "l2_wait", sim()->now() - l2_wait, sim()->now());
   }
   if (off >= in.size) {
     in.lock.ReadUnlock();
@@ -242,6 +287,7 @@ StatusOr<size_t> EasyIoFs::ReadInternal(Inode& in, uint64_t off,
   if (ch == nullptr) {
     // memcpy fallback: reads never leave an SN behind, and CoW plus the
     // pending-read count protect the blocks, so the lock drops first.
+    TracePhase(stats, "l1_hold", l1_start, sim()->now());
     in.lock.ReadUnlock();
     reads_memcpy_++;
     for (const ByteRange& r : scratch->ranges) {
@@ -251,6 +297,7 @@ StatusOr<size_t> EasyIoFs::ReadInternal(Inode& in, uint64_t off,
         Timed(stats, &fs::OpStats::data_ns, [&] {
           memory()->CpuRead(buf.data() + r.buf_off, r.pmem_off, r.bytes);
         });
+        AddCpuBytes(r.bytes);
       }
     }
     OnReadDone(in);
@@ -274,22 +321,31 @@ StatusOr<size_t> EasyIoFs::ReadInternal(Inode& in, uint64_t off,
   }
   reads_offloaded_++;
   if (scratch->batch.empty()) {
+    TracePhase(stats, "l1_hold", l1_start, sim()->now());
     in.lock.ReadUnlock();
     OnReadDone(in);
     Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
     return n;
   }
+  for (const dma::Descriptor& d : scratch->batch) {
+    AddDmaBytes(d.size);
+  }
+  const sim::SimTime submit_t0 = sim()->now();
   Timed(stats, &fs::OpStats::data_ns, [&] {
     ch->SubmitBatch(std::span<dma::Descriptor>(scratch->batch),
                     &scratch->sns);
   });
+  TracePhase(stats, "dma_submit", submit_t0, sim()->now(),
+             {{"descs", scratch->batch.size()}, {"chan", ch->id()}});
   const dma::Sn last_sn = scratch->sns.back();
+  TracePhase(stats, "l1_hold", l1_start, sim()->now());
   in.lock.ReadUnlock();  // reads only touch timestamps; unlock at once
   Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
 
   Charge(stats, &fs::OpStats::data_ns, params().uthread_switch_ns);
   const sim::SimTime t0 = sim()->now();
   ch->WaitSn(last_sn);
+  TracePhase(stats, "sn_wait", t0, sim()->now(), {{"chan", ch->id()}});
   if (stats != nullptr) {
     const uint64_t waited = sim()->now() - t0;
     stats->blocked_ns += waited;

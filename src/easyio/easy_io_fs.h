@@ -68,16 +68,19 @@ class EasyIoFs : public nova::NovaFs {
   Status FsyncInternal(Inode& in) override;
 
  private:
+  // All write paths enter with the level-1 lock held; `l1_start` is its
+  // acquisition time, so the path can attribute the full lock-hold window to
+  // the traced op when it releases the lock.
   StatusOr<size_t> WriteOrderless(Inode& in, uint64_t off,
                                   std::span<const std::byte> buf,
-                                  fs::OpStats* stats);
+                                  fs::OpStats* stats, sim::SimTime l1_start);
   StatusOr<size_t> WriteNaive(Inode& in, uint64_t off,
                               std::span<const std::byte> buf,
-                              fs::OpStats* stats);
+                              fs::OpStats* stats, sim::SimTime l1_start);
   // Synchronous memcpy fallback shared by both modes (small I/O).
   StatusOr<size_t> WriteMemcpy(Inode& in, uint64_t off,
                                std::span<const std::byte> buf,
-                               fs::OpStats* stats);
+                               fs::OpStats* stats, sim::SimTime l1_start);
   // Maps the user buffer onto the allocated extents: one range per
   // contiguous extent (never a hole), honoring the unaligned head offset.
   // Appends to *out (not cleared).

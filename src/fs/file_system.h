@@ -36,10 +36,24 @@ struct OpStats {
   uint64_t index_ns = 0;    // file indexing share
   uint64_t meta_ns = 0;     // metadata update share (incl. allocation)
   uint64_t data_ns = 0;     // data movement share (memcpy or DMA wait)
+  // Tracing correlation id assigned at the op entry point when an obs
+  // tracer is installed and sampling selects this op; 0 = untraced. Internal
+  // phases (commit, l2 wait, SN wait) attach their spans to this id.
+  uint64_t trace_op_id = 0;
 
   void Clear() { *this = OpStats{}; }
 };
 
+// Contract (paper §5 evaluation harness): implementations provide POSIX
+// read/write/append semantics with the durability point the respective
+// system defines — NOVA-style systems are durable when the call returns,
+// EasyIO is durable when the op's SN completes (paper §4.2; Fsync bridges
+// the gap). Calls must run inside a sim::Task and charge all modeled time
+// themselves; concurrent calls on distinct fds are always safe, and calls on
+// the same file follow the system's own locking discipline (a single file
+// lock for NOVA, two-level locking per §4.3 for EasyIO). Every byte the call
+// reports transferred has actually been moved into/out of the simulated
+// device, so crash tests observe real contents.
 class FileSystem {
  public:
   virtual ~FileSystem() = default;

@@ -20,6 +20,7 @@
 #include "src/easyio/channel_manager.h"
 #include "src/easyio/easy_io_fs.h"
 #include "src/nova/nova_fs.h"
+#include "src/obs/stats.h"
 #include "src/pmem/slow_memory.h"
 #include "src/sim/simulation.h"
 #include "src/uthread/scheduler.h"
@@ -143,6 +144,52 @@ class Testbed {
     return config_.fs == FsKind::kOdin
                ? config_.machine_cores - config_.odin_reserved_cores
                : config_.machine_cores;
+  }
+
+  // Snapshot of every actor's cumulative counters at the current virtual
+  // time (schema: docs/OBSERVABILITY.md). Cheap — plain reads, no events —
+  // so benches can collect one per run and Print() it behind --stats.
+  obs::StatsSnapshot CollectStats() {
+    obs::StatsSnapshot s;
+    s.now_ns = sim_.now();
+    s.context_switches = sim_.context_switches();
+    for (int c = 0; c < sim_.num_cores(); ++c) {
+      obs::CoreStats cs;
+      cs.core = c;
+      cs.busy_ns = sim_.core_busy_ns(c);
+      cs.run_queue = sim_.run_queue_depth(c);
+      cs.busy_fraction =
+          s.now_ns == 0 ? 0.0
+                        : static_cast<double>(cs.busy_ns) /
+                              static_cast<double>(s.now_ns);
+      s.cores.push_back(cs);
+    }
+    if (engine_) {
+      for (int i = 0; i < engine_->num_channels(); ++i) {
+        const dma::Channel& ch = engine_->channel(i);
+        obs::ChannelStats xs;
+        xs.id = i;
+        xs.bytes_completed = ch.bytes_completed();
+        xs.descriptors_completed = ch.descriptors_completed();
+        xs.queue_depth = ch.queue_depth();
+        xs.suspended = ch.suspended();
+        s.channels.push_back(xs);
+      }
+    }
+    if (nova_view_ != nullptr) {
+      const nova::NovaFs::Counters& c = nova_view_->counters();
+      obs::FsStats fsv;
+      fsv.name = std::string(nova_view_->name());
+      fsv.ops_read = c.ops_read;
+      fsv.ops_write = c.ops_write;
+      fsv.bytes_read = c.bytes_read;
+      fsv.bytes_written = c.bytes_written;
+      fsv.bytes_cpu = c.bytes_cpu;
+      fsv.bytes_dma = c.bytes_dma;
+      fsv.log_compactions = nova_view_->log_compactions();
+      s.fs.push_back(std::move(fsv));
+    }
+    return s;
   }
 
  private:

@@ -7,6 +7,7 @@
 
 #include "src/common/units.h"
 #include "src/dma/channel.h"
+#include "src/obs/trace.h"
 
 namespace easyio::nova {
 
@@ -401,6 +402,8 @@ Status NovaFs::CommitWrite(Inode& in, uint64_t off, size_t n,
                            const std::vector<dma::Sn>& sns,
                            fs::OpStats* stats) {
   assert(extents.size() == sns.size());
+  const uint64_t trace_id = stats != nullptr ? stats->trace_op_id : 0;
+  const sim::SimTime commit_t0 = sim_->now();
   const uint64_t new_size = std::max<uint64_t>(in.size, off + n);
   const uint64_t mtime = sim_->now();
   uint64_t pg = off / kBlockSize;
@@ -430,6 +433,11 @@ Status NovaFs::CommitWrite(Inode& in, uint64_t off, size_t n,
   in.size = new_size;
   in.mtime_ns = mtime;
   ReleaseBlocks(in, scratch->displaced);
+  if (trace_id != 0) {
+    if (auto* t = obs::Get())
+      t->AsyncSpan(trace_id, "commit", commit_t0, sim_->now(),
+                   {{"entries", extents.size()}});
+  }
   return OkStatus();
 }
 
@@ -468,6 +476,8 @@ void NovaFs::MaybeCompactLog(Inode& in, fs::OpStats* stats) {
 
   // Build the replacement chain (best effort: bail out on allocation
   // pressure; the old log stays valid).
+  const sim::SimTime gc_t0 = sim_->now();
+  const uint64_t gc_old_pages = in.log_pages;
   auto new_pages = allocator_->AllocMulti(needed_pages, 0);
   if (!new_pages.ok()) {
     return;
@@ -554,6 +564,12 @@ void NovaFs::MaybeCompactLog(Inode& in, fs::OpStats* stats) {
     }
     page = next;
   }
+
+  // GC is rare, control-plane activity: always recorded when tracing is on.
+  if (auto* t = obs::Get()) {
+    t->AsyncSpan(t->NextOpId(), "log_gc", gc_t0, sim_->now(),
+                 {{"old_pages", gc_old_pages}, {"new_pages", pages.size()}});
+  }
 }
 
 void NovaFs::ReleaseBlocks(Inode& in, const std::vector<Extent>& displaced) {
@@ -627,12 +643,14 @@ void NovaFs::ReleaseScratch(OpScratch* s) {
 
 void NovaFs::MoveToPmem(uint64_t pmem_off, const std::byte* src, size_t bytes,
                         fs::OpStats* stats) {
+  AddCpuBytes(bytes);
   Timed(stats, &fs::OpStats::data_ns,
         [&] { mem_->CpuWrite(pmem_off, src, bytes); });
 }
 
 void NovaFs::MoveFromPmem(std::byte* dst, uint64_t pmem_off, size_t bytes,
                           fs::OpStats* stats) {
+  AddCpuBytes(bytes);
   Timed(stats, &fs::OpStats::data_ns,
         [&] { mem_->CpuRead(dst, pmem_off, bytes); });
 }
@@ -769,9 +787,20 @@ StatusOr<size_t> NovaFs::Write(int fd, uint64_t off,
   if (buf.empty()) {
     return size_t{0};
   }
+  if (auto* t = obs::Get(); t != nullptr && t->Sample()) {
+    stats->trace_op_id = t->NextOpId();
+  }
   auto r = WriteInternal(*in, off, buf, /*append=*/false, stats);
   stats->total_ns = sim_->now() - t0;
   stats->cpu_ns = stats->total_ns - stats->blocked_ns;
+  counters_.ops_write++;
+  if (r.ok()) counters_.bytes_written += *r;
+  if (stats->trace_op_id != 0) {
+    if (auto* t = obs::Get())
+      t->AsyncSpan(stats->trace_op_id, "write", t0, sim_->now(),
+                   {{"off", off},
+                    {"bytes", r.ok() ? static_cast<uint64_t>(*r) : 0}});
+  }
   return r;
 }
 
@@ -794,9 +823,19 @@ StatusOr<size_t> NovaFs::Append(int fd, std::span<const std::byte> buf,
   if (buf.empty()) {
     return size_t{0};
   }
+  if (auto* t = obs::Get(); t != nullptr && t->Sample()) {
+    stats->trace_op_id = t->NextOpId();
+  }
   auto r = WriteInternal(*in, 0, buf, /*append=*/true, stats);
   stats->total_ns = sim_->now() - t0;
   stats->cpu_ns = stats->total_ns - stats->blocked_ns;
+  counters_.ops_write++;
+  if (r.ok()) counters_.bytes_written += *r;
+  if (stats->trace_op_id != 0) {
+    if (auto* t = obs::Get())
+      t->AsyncSpan(stats->trace_op_id, "append", t0, sim_->now(),
+                   {{"bytes", r.ok() ? static_cast<uint64_t>(*r) : 0}});
+  }
   return r;
 }
 
@@ -819,9 +858,20 @@ StatusOr<size_t> NovaFs::Read(int fd, uint64_t off, std::span<std::byte> buf,
   if (buf.empty()) {
     return size_t{0};
   }
+  if (auto* t = obs::Get(); t != nullptr && t->Sample()) {
+    stats->trace_op_id = t->NextOpId();
+  }
   auto r = ReadInternal(*in, off, buf, stats);
   stats->total_ns = sim_->now() - t0;
   stats->cpu_ns = stats->total_ns - stats->blocked_ns;
+  counters_.ops_read++;
+  if (r.ok()) counters_.bytes_read += *r;
+  if (stats->trace_op_id != 0) {
+    if (auto* t = obs::Get())
+      t->AsyncSpan(stats->trace_op_id, "read", t0, sim_->now(),
+                   {{"off", off},
+                    {"bytes", r.ok() ? static_cast<uint64_t>(*r) : 0}});
+  }
   return r;
 }
 

@@ -96,6 +96,19 @@ class NovaFs : public fs::FileSystem {
   uint64_t free_pages() const { return allocator_->free_pages(); }
   uint64_t log_compactions() const { return log_compactions_; }
 
+  // Cumulative data-path counters (obs::FsStats source). `bytes_cpu` counts
+  // data moved by CPU copy paths, `bytes_dma` by DMA offload; subclasses
+  // report their own movement via AddCpuBytes/AddDmaBytes.
+  struct Counters {
+    uint64_t ops_read = 0;
+    uint64_t ops_write = 0;  // Write + Append entry points
+    uint64_t bytes_read = 0;
+    uint64_t bytes_written = 0;
+    uint64_t bytes_cpu = 0;
+    uint64_t bytes_dma = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
  protected:
   // In-DRAM inode state, rebuilt from the log at mount.
   struct Inode {
@@ -251,6 +264,9 @@ class NovaFs : public fs::FileSystem {
   OpScratch* AcquireScratch();
   void ReleaseScratch(OpScratch* s);
 
+  void AddCpuBytes(uint64_t n) { counters_.bytes_cpu += n; }
+  void AddDmaBytes(uint64_t n) { counters_.bytes_dma += n; }
+
   pmem::SlowMemory* mem_;
   sim::Simulation* sim_;
   Options options_;
@@ -281,6 +297,7 @@ class NovaFs : public fs::FileSystem {
   uint64_t recovery_discarded_entries_ = 0;
   uint64_t recovery_replayed_journals_ = 0;
   uint64_t log_compactions_ = 0;
+  Counters counters_;
 };
 
 }  // namespace easyio::nova

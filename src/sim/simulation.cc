@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/obs/trace.h"
+
 namespace easyio::sim {
 
 namespace {
@@ -141,6 +143,8 @@ Task* Simulation::CreateTask(int core, std::function<void()> fn,
   Task* raw = task.get();
   tasks_.emplace(raw->id(), std::move(task));
   cores_[core].run_queue.push_back(raw);
+  OBS_COUNTER_SAMPLED(obs::Track(obs::kProcCores, core), "runq",
+                      cores_[core].run_queue.size());
   KickCore(core);
   NotifyEnqueue(core);
   return raw;
@@ -181,6 +185,12 @@ void Simulation::MarkCoreBusy(Core& core, Task* t) {
 void Simulation::MarkCoreIdle(Core& core) {
   if (core.running != nullptr) {
     core.busy_ns += now_ - core.busy_since;
+    if (auto* t = obs::Get(); t != nullptr && t->Sample()) {
+      const auto core_idx = static_cast<uint32_t>(&core - cores_.data());
+      t->CompleteSpan(obs::Track(obs::kProcCores, core_idx), "run",
+                      core.busy_since, now_,
+                      {{"task", core.running->id()}});
+    }
     core.running = nullptr;
   }
 }
@@ -216,6 +226,8 @@ void Simulation::KickCore(int core) {
     if (!c.run_queue.empty()) {
       next = c.run_queue.front();
       c.run_queue.pop_front();
+      OBS_COUNTER_SAMPLED(obs::Track(obs::kProcCores, core), "runq",
+                          c.run_queue.size());
     } else if (auto it = core_steal_hooks_.find(core);
                it != core_steal_hooks_.end()) {
       next = it->second(core);
@@ -275,12 +287,16 @@ void Simulation::HandleDirective(Task* t) {
     case Directive::kYield: {
       t->state_ = Task::State::kRunnable;
       core.run_queue.push_back(t);
+      OBS_COUNTER_SAMPLED(obs::Track(obs::kProcCores, t->core_), "runq",
+                          core.run_queue.size());
       MarkCoreIdle(core);
       KickCore(t->core_);
       break;
     }
     case Directive::kBlock: {
       t->state_ = Task::State::kBlocked;
+      OBS_EVENT_SAMPLED(obs::Track(obs::kProcCores, t->core_), "park",
+                        {"task", t->id()});
       MarkCoreIdle(core);
       KickCore(t->core_);
       break;
@@ -354,6 +370,8 @@ void Simulation::WakeOn(Task* t, int core) {
   t->state_ = Task::State::kRunnable;
   t->core_ = core;
   cores_[core].run_queue.push_back(t);
+  OBS_COUNTER_SAMPLED(obs::Track(obs::kProcCores, core), "runq",
+                      cores_[core].run_queue.size());
   KickCore(core);
   NotifyEnqueue(core);
 }

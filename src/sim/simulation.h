@@ -40,6 +40,16 @@
 
 namespace easyio::sim {
 
+// Contract: virtual time is single-threaded and deterministic — given the
+// same sequence of Spawn/Schedule calls, every run interleaves identically,
+// which is what lets EXPERIMENTS.md quote exact numbers and the crash tests
+// replay exact failure points. Events with equal timestamps fire in issue
+// order; a task observes time only through now() and the blocking
+// primitives. This kernel is the substitute for the paper's real hardware
+// (§5 testbed): it knows nothing about storage — cores, DMA engines and the
+// media model are built on top of it — and the asynchrony the paper measures
+// (uthreads harvesting DMA wait time, §4.1) appears here as Block()ed tasks
+// yielding their core to the run queue.
 using EventFn = std::function<void()>;
 // Opaque handle for Cancel(): slot index + generation. Never 0, so callers
 // can keep 0 as a "no event pending" sentinel.

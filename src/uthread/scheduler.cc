@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/obs/trace.h"
+
 namespace easyio::uthread {
 
 Scheduler::Scheduler(sim::Simulation* sim, const Options& options)
@@ -26,7 +28,17 @@ Scheduler::Scheduler(sim::Simulation* sim, const Options& options)
             best = v;
           }
         }
-        return best >= 0 ? sim_->TryStealFrom(best) : nullptr;
+        if (best < 0) {
+          return nullptr;
+        }
+        sim::Task* stolen = sim_->TryStealFrom(best);
+        if (stolen != nullptr) {
+          OBS_EVENT_SAMPLED(
+              obs::Track(obs::kProcCores, static_cast<uint32_t>(thief)),
+              "steal", {"victim", static_cast<uint64_t>(best)},
+              {"task", stolen->id()});
+        }
+        return stolen;
       });
       // When work queues up behind a busy core, prod the idle siblings so
       // they come steal it.

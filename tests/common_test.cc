@@ -192,5 +192,33 @@ TEST(HistogramTest, HugeValueClamped) {
   EXPECT_EQ(h.Percentile(1.0), UINT64_MAX);
 }
 
+// One bucket holding virtually all the mass ("saturating" bucket): every
+// interior percentile must resolve to that bucket's upper bound, percentiles
+// must stay monotone in q, and the outliers must still pin min/max.
+TEST(HistogramTest, SaturatingBucketPercentiles) {
+  Histogram h;
+  h.Record(10);  // lone low outlier
+  constexpr uint64_t kHot = 1000000;
+  for (int i = 0; i < 100000; ++i) {
+    h.Record(kHot);
+  }
+  EXPECT_EQ(h.count(), 100001u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), kHot);
+  const uint64_t p50 = h.Percentile(0.50);
+  const uint64_t p99 = h.Percentile(0.99);
+  const uint64_t p999 = h.Percentile(0.999);
+  // All interior percentiles land in the hot bucket: >= the value, within
+  // the 1/64-per-decade bucketing error above it.
+  for (uint64_t p : {p50, p99, p999}) {
+    EXPECT_GE(p, kHot);
+    EXPECT_LE(static_cast<double>(p), kHot * 1.016);
+  }
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+  EXPECT_EQ(h.Percentile(0.0), 10u);   // the outlier's (exact) low bucket
+  EXPECT_EQ(h.Percentile(1.0), kHot);  // exact max
+}
+
 }  // namespace
 }  // namespace easyio

@@ -15,6 +15,8 @@
 #include "gtest/gtest.h"
 #include "src/common/units.h"
 #include "src/nova/layout.h"
+#include "src/obs/trace.h"
+#include "src/sim/simulation.h"
 
 // ---- operator-new hook (counts allocations when armed) ----
 
@@ -230,6 +232,54 @@ TEST(PageMapAllocationTest, SteadyStateInsertAndLookupAllocateNothing) {
   g_count_allocs = false;
   EXPECT_EQ(g_alloc_count, 0u)
       << "PageMap hot path allocated in steady state";
+}
+
+// The observability macros must preserve the zero-allocation guarantee when
+// no tracer is installed: their entire disabled-path cost is the obs::Get()
+// null check, so a hot loop over every macro kind may not touch the heap.
+TEST(PageMapAllocTest, ObsMacrosAllocFreeWhenDisabled) {
+  ASSERT_EQ(easyio::obs::Get(), nullptr);
+  g_alloc_count = 0;
+  g_count_allocs = true;
+  for (int i = 0; i < 100000; ++i) {
+    OBS_EVENT(easyio::obs::Track(easyio::obs::kProcFs, 0), "e",
+              {"k", static_cast<uint64_t>(i)});
+    OBS_EVENT_SAMPLED(easyio::obs::Track(easyio::obs::kProcFs, 0), "es");
+    OBS_COUNTER(easyio::obs::Track(easyio::obs::kProcCores, 0), "c", i);
+    OBS_COUNTER_SAMPLED(easyio::obs::Track(easyio::obs::kProcCores, 0), "cs",
+                        i);
+    OBS_SPAN(easyio::obs::Track(easyio::obs::kProcCores, 0), "s");
+    OBS_SPAN_SAMPLED(easyio::obs::Track(easyio::obs::kProcCores, 0), "ss");
+  }
+  g_count_allocs = false;
+  EXPECT_EQ(g_alloc_count, 0u)
+      << "disabled OBS_* macros allocated on the hot path";
+}
+
+// Steady-state simulation hot loop (Advance + event schedule/fire + context
+// switches through the instrumented DispatchTask path) with tracing
+// disabled: zero allocations once stacks, event slab and the run loop have
+// warmed up (DESIGN.md §6).
+TEST(PageMapAllocTest, SimAdvanceLoopAllocFreeTracingDisabled) {
+  ASSERT_EQ(easyio::obs::Get(), nullptr);
+  sim::Simulation sim({.num_cores = 2});
+  bool stop = false;
+  for (int c = 0; c < 2; ++c) {
+    sim.Spawn(c, [&sim, &stop] {
+      while (!stop) {
+        sim.Advance(100);
+      }
+    });
+  }
+  sim.RunFor(50000);  // warm up: stacks, event slots, heap vector
+  g_alloc_count = 0;
+  g_count_allocs = true;
+  sim.RunFor(500000);
+  g_count_allocs = false;
+  EXPECT_EQ(g_alloc_count, 0u)
+      << "simulation hot loop allocated with tracing disabled";
+  stop = true;
+  sim.Run();  // drain: both tasks observe stop and finish
 }
 
 }  // namespace
