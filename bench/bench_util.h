@@ -46,8 +46,11 @@ inline TraceFlags ParseTraceFlags(int argc, char** argv,
   return f;
 }
 
-inline const char* SizeName(uint64_t io_size) {
-  static char buf[16];
+// Returns by value (not a shared static buffer): two SizeName calls in one
+// printf argument list each keep their own text, and concurrent scenario
+// jobs formatting labels never race.
+inline std::string SizeName(uint64_t io_size) {
+  char buf[16];
   if (io_size >= 1024 * 1024) {
     std::snprintf(buf, sizeof(buf), "%lluM",
                   static_cast<unsigned long long>(io_size >> 20));

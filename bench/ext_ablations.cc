@@ -13,10 +13,12 @@
 //     with 1, 2, 4 and 8 L-channels.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/common/units.h"
 #include "src/fxmark/fxmark.h"
+#include "src/harness/scenario_runner.h"
 
 namespace easyio {
 namespace {
@@ -36,7 +38,7 @@ RunConfig Base(Workload w, uint64_t io, int cores) {
   return cfg;
 }
 
-void DsaPreview() {
+void DsaPreview(int jobs) {
   std::printf("\n-- A. DSA preview: EasyIO on I/OAT vs DSA parameters --\n");
   std::printf("%-28s %12s %12s %8s\n", "workload", "I/OAT", "DSA", "gain");
   struct Case {
@@ -45,52 +47,69 @@ void DsaPreview() {
     uint64_t io;
     int cores;
   };
-  const Case cases[] = {
+  const std::vector<Case> cases{
       {"DWAL write 16K, 4 cores", Workload::kDWAL, 16_KB, 4},
       {"DWAL write 64K, 2 cores", Workload::kDWAL, 64_KB, 2},
       {"DRBL read  16K, 8 cores", Workload::kDRBL, 16_KB, 8},
       {"DRBL read  64K, 8 cores", Workload::kDRBL, 64_KB, 8},
   };
-  for (const Case& c : cases) {
-    RunConfig ioat = Base(c.w, c.io, c.cores);
-    RunConfig dsa = ioat;
-    dsa.media = pmem::MediaParams::Dsa();
-    const double a = fxmark::Run(ioat).mops * 1e3;
-    const double b = fxmark::Run(dsa).mops * 1e3;
-    std::printf("%-28s %10.1fK %10.1fK %7.2fx\n", c.name, a, b, b / a);
+  // [i] = I/OAT run, [cases.size() + i] = DSA run of the same case.
+  const std::vector<double> kops =
+      harness::RunIndexed(jobs, cases.size() * 2, [&](size_t i) {
+        const Case& c = cases[i % cases.size()];
+        RunConfig cfg = Base(c.w, c.io, c.cores);
+        if (i >= cases.size()) {
+          cfg.media = pmem::MediaParams::Dsa();
+        }
+        return fxmark::Run(cfg).mops * 1e3;
+      });
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const double a = kops[i];
+    const double b = kops[cases.size() + i];
+    std::printf("%-28s %10.1fK %10.1fK %7.2fx\n", cases[i].name, a, b, b / a);
   }
   std::printf("(paper §6.6: DSA is expected to expand EasyIO's benefit,\n"
               " especially for reads and small I/Os)\n");
 }
 
-void SelectiveOffloadAblation() {
+void SelectiveOffloadAblation(int jobs) {
   std::printf("\n-- B. Selective offloading ablation (Listing 2) --\n");
   std::printf("%-34s %12s %12s\n", "configuration", "4K write", "16K read");
-  auto run_pair = [](RunConfig base_w, RunConfig base_r) {
-    const double w = fxmark::Run(base_w).mops * 1e3;
-    const double r = fxmark::Run(base_r).mops * 1e3;
-    std::printf("%10.1fK %11.1fK\n", w, r);
-  };
 
-  RunConfig w_def = Base(Workload::kDWAL, 4_KB, 4);
-  RunConfig r_def = Base(Workload::kDRBL, 16_KB, 8);
-  std::printf("%-34s ", "default (4K cutoff, q<2 gate)");
-  run_pair(w_def, r_def);
+  const RunConfig w_def = Base(Workload::kDWAL, 4_KB, 4);
+  const RunConfig r_def = Base(Workload::kDRBL, 16_KB, 8);
 
   RunConfig w_all = w_def;
   w_all.easy_options.dma_min_bytes = 0;  // DMA even for tiny I/O
   RunConfig r_all = r_def;
   r_all.easy_options.dma_min_bytes = 0;
   r_all.cm_options.read_admission_qdepth = 1u << 20;  // no admission gate
-  std::printf("%-34s ", "always-DMA (no cutoff, no gate)");
-  run_pair(w_all, r_all);
 
   RunConfig w_none = w_def;
   w_none.easy_options.dma_min_bytes = UINT64_MAX;  // never offload
   RunConfig r_none = r_def;
   r_none.easy_options.dma_min_bytes = UINT64_MAX;
-  std::printf("%-34s ", "never-DMA (pure memcpy)");
-  run_pair(w_none, r_none);
+
+  struct Row {
+    const char* name;
+    RunConfig write;
+    RunConfig read;
+  };
+  const std::vector<Row> rows{
+      {"default (4K cutoff, q<2 gate)", w_def, r_def},
+      {"always-DMA (no cutoff, no gate)", w_all, r_all},
+      {"never-DMA (pure memcpy)", w_none, r_none},
+  };
+  // [2i] = write run of row i, [2i+1] = read run of row i.
+  const std::vector<double> kops =
+      harness::RunIndexed(jobs, rows.size() * 2, [&](size_t i) {
+        const Row& row = rows[i / 2];
+        return fxmark::Run(i % 2 == 0 ? row.write : row.read).mops * 1e3;
+      });
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::printf("%-34s %10.1fK %11.1fK\n", rows[i].name, kops[2 * i],
+                kops[2 * i + 1]);
+  }
   std::printf(
       "(the q<2 read gate is load-bearing: without it, reads collapse onto\n"
       " the slow DMA read path. The 4K write cutoff is latency-motivated —\n"
@@ -98,16 +117,21 @@ void SelectiveOffloadAblation() {
       " concurrency 4K DMA can out-throughput contended memcpy.)\n");
 }
 
-void LChannelAblation() {
+void LChannelAblation(int jobs) {
   std::printf("\n-- C. L-channel count ablation (write 16K, 8 cores) --\n");
   std::printf("%-12s %12s %10s %10s\n", "L channels", "Kops/s", "avg_us",
               "p99_us");
-  for (int n : {1, 2, 4, 8}) {
-    RunConfig cfg = Base(Workload::kDWAL, 16_KB, 8);
-    cfg.cm_options.num_l_channels = n;
-    cfg.cm_options.b_channel = n;  // keep the B channel out of the L range
-    const auto r = fxmark::Run(cfg);
-    std::printf("%-12d %12.1f %10.2f %10.2f\n", n, r.mops * 1e3,
+  const std::vector<int> counts{1, 2, 4, 8};
+  const std::vector<fxmark::RunResult> results =
+      harness::RunIndexed(jobs, counts.size(), [&](size_t i) {
+        RunConfig cfg = Base(Workload::kDWAL, 16_KB, 8);
+        cfg.cm_options.num_l_channels = counts[i];
+        cfg.cm_options.b_channel = counts[i];  // keep B out of the L range
+        return fxmark::Run(cfg);
+      });
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const auto& r = results[i];
+    std::printf("%-12d %12.1f %10.2f %10.2f\n", counts[i], r.mops * 1e3,
                 r.avg_latency_ns / 1e3, r.p99_ns / 1e3);
   }
   std::printf("(the paper steers L-apps to up to 4 channels; more causes\n"
@@ -117,12 +141,13 @@ void LChannelAblation() {
 }  // namespace
 }  // namespace easyio
 
-int main() {
+int main(int argc, char** argv) {
   using namespace easyio;
+  const int jobs = harness::ScenarioRunner::JobsFromArgs(argc, argv);
   bench::PrintHeader(
       "Extensions: DSA preview + design-choice ablations (beyond the paper)");
-  DsaPreview();
-  SelectiveOffloadAblation();
-  LChannelAblation();
+  DsaPreview(jobs);
+  SelectiveOffloadAblation(jobs);
+  LChannelAblation(jobs);
   return 0;
 }

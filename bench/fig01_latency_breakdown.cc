@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
       const bool traced = is_write && io == 64_KB && trace.enabled();
       const auto b = Measure(is_write, io, traced ? &trace : nullptr);
       std::printf("%-6s %-5s %9.2f %9.2f %9.2f %9.2f %9.2f %7.1f%%\n",
-                  is_write ? "write" : "read", bench::SizeName(io), b.total_us,
+                  is_write ? "write" : "read", bench::SizeName(io).c_str(), b.total_us,
                   b.meta_us, b.memcpy_us, b.index_us, b.syscall_us,
                   100.0 * b.memcpy_us / b.total_us);
     }

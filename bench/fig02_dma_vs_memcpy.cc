@@ -111,7 +111,7 @@ void RunDirection(bool is_write) {
   for (uint64_t io : {4_KB, 16_KB, 64_KB}) {
     for (int batch : {1, 4}) {
       char name[32];
-      std::snprintf(name, sizeof(name), "DMA-%s-%s", bench::SizeName(io),
+      std::snprintf(name, sizeof(name), "DMA-%s-%s", bench::SizeName(io).c_str(),
                     batch == 1 ? "NB" : "B");
       std::printf("%-14s", name);
       for (int c : core_counts) {

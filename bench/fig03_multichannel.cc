@@ -11,6 +11,7 @@
 #include "bench/bench_util.h"
 #include "src/common/units.h"
 #include "src/dma/dma_engine.h"
+#include "src/harness/scenario_runner.h"
 #include "src/pmem/slow_memory.h"
 #include "src/sim/simulation.h"
 
@@ -51,19 +52,29 @@ double RunDma(bool is_write, uint64_t io_size, int channels) {
   return GibPerSec(bytes_done, kDuration);
 }
 
-void RunDirection(bool is_write) {
+const std::vector<int> kChannelCounts{1, 2, 4, 6, 8};
+const std::vector<uint64_t> kIoSizes{4_KB, 16_KB, 64_KB};
+
+// Each grid point is an independent simulation; the whole direction fans out
+// across the scenario runner and prints from the ordered result vector.
+void RunDirection(bool is_write, int jobs) {
   std::printf("\n-- %s bandwidth (GiB/s), 16 cores --\n",
               is_write ? "Write" : "Read");
   std::printf("%-10s", "io\\chans");
-  const std::vector<int> channel_counts{1, 2, 4, 6, 8};
-  for (int ch : channel_counts) {
+  for (int ch : kChannelCounts) {
     std::printf("%8d", ch);
   }
   std::printf("\n");
-  for (uint64_t io : {4_KB, 16_KB, 64_KB}) {
-    std::printf("%-10s", bench::SizeName(io));
-    for (int ch : channel_counts) {
-      std::printf("%8.2f", RunDma(is_write, io, ch));
+  const size_t cols = kChannelCounts.size();
+  const std::vector<double> gibps =
+      harness::RunIndexed(jobs, kIoSizes.size() * cols, [&](size_t i) {
+        return RunDma(is_write, kIoSizes[i / cols],
+                      kChannelCounts[i % cols]);
+      });
+  for (size_t row = 0; row < kIoSizes.size(); ++row) {
+    std::printf("%-10s", bench::SizeName(kIoSizes[row]).c_str());
+    for (size_t col = 0; col < cols; ++col) {
+      std::printf("%8.2f", gibps[row * cols + col]);
     }
     std::printf("\n");
   }
@@ -72,11 +83,12 @@ void RunDirection(bool is_write) {
 }  // namespace
 }  // namespace easyio
 
-int main() {
+int main(int argc, char** argv) {
   using namespace easyio;
+  const int jobs = harness::ScenarioRunner::JobsFromArgs(argc, argv);
   bench::PrintHeader("Figure 3: DMA bandwidth vs number of channels");
-  RunDirection(/*is_write=*/true);
-  RunDirection(/*is_write=*/false);
+  RunDirection(/*is_write=*/true, jobs);
+  RunDirection(/*is_write=*/false, jobs);
   std::printf(
       "\nExpected shape (paper): writes peak at 4 channels for 4K and fall\n"
       "monotonically with channels for 64K; reads never decline, peak 2-4.\n");

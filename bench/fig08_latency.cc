@@ -13,6 +13,7 @@
 #include "bench/bench_util.h"
 #include "src/common/rng.h"
 #include "src/common/units.h"
+#include "src/harness/scenario_runner.h"
 #include "src/harness/testbed.h"
 
 namespace easyio {
@@ -58,30 +59,39 @@ Point Measure(harness::FsKind kind, bool is_write, uint64_t io_size) {
   return out;
 }
 
-void RunDirection(bool is_write) {
+// One independent simulation per (fs, io) point; the direction's whole grid
+// fans out across the scenario runner and prints from the ordered results.
+void RunDirection(bool is_write, int jobs) {
   std::printf("\n-- %s latency (us), single thread --\n",
               is_write ? "Write" : "Read");
   std::printf("%-10s %8s %10s %8s %8s %12s\n", "io", "NOVA", "NOVA-DMA",
               "ODINFS", "EasyIO", "EasyIO-CPU");
-  for (uint64_t io : {4_KB, 8_KB, 16_KB, 32_KB, 64_KB}) {
-    const Point nova = Measure(harness::FsKind::kNova, is_write, io);
-    const Point nd = Measure(harness::FsKind::kNovaDma, is_write, io);
-    const Point odin = Measure(harness::FsKind::kOdin, is_write, io);
-    const Point easy = Measure(harness::FsKind::kEasy, is_write, io);
+  const std::vector<uint64_t> ios{4_KB, 8_KB, 16_KB, 32_KB, 64_KB};
+  const std::vector<harness::FsKind> kinds{
+      harness::FsKind::kNova, harness::FsKind::kNovaDma,
+      harness::FsKind::kOdin, harness::FsKind::kEasy};
+  const size_t cols = kinds.size();
+  const std::vector<Point> points =
+      harness::RunIndexed(jobs, ios.size() * cols, [&](size_t i) {
+        return Measure(kinds[i % cols], is_write, ios[i / cols]);
+      });
+  for (size_t row = 0; row < ios.size(); ++row) {
+    const Point* p = &points[row * cols];
     std::printf("%-10s %8.2f %10.2f %8.2f %8.2f %12.2f\n",
-                bench::SizeName(io), nova.total_us, nd.total_us,
-                odin.total_us, easy.total_us, easy.cpu_us);
+                bench::SizeName(ios[row]).c_str(), p[0].total_us,
+                p[1].total_us, p[2].total_us, p[3].total_us, p[3].cpu_us);
   }
 }
 
 }  // namespace
 }  // namespace easyio
 
-int main() {
+int main(int argc, char** argv) {
   using namespace easyio;
+  const int jobs = harness::ScenarioRunner::JobsFromArgs(argc, argv);
   bench::PrintHeader("Figure 8: operation latency by filesystem (1 thread)");
-  RunDirection(/*is_write=*/true);
-  RunDirection(/*is_write=*/false);
+  RunDirection(/*is_write=*/true, jobs);
+  RunDirection(/*is_write=*/false, jobs);
   std::printf(
       "\nExpected shape (paper): EasyIO lowest write+read latency, gap\n"
       "growing with I/O size (~41%% lower 64K write than NOVA); EasyIO-CPU\n"

@@ -15,6 +15,7 @@
 #include "bench/bench_util.h"
 #include "src/common/units.h"
 #include "src/fxmark/fxmark.h"
+#include "src/harness/scenario_runner.h"
 
 namespace easyio {
 namespace {
@@ -24,9 +25,13 @@ using fxmark::Workload;
 
 const std::vector<int> kCores{1, 2, 4, 6, 8, 12, 16, 20, 24};
 
-void RunPanel(Workload workload, uint64_t io_size) {
+// Every (fs, core-count) sweep point is an independent simulation; the
+// panel's four sweeps fan out together across the scenario runner (the
+// per-sweep results stay in core_counts order, so the table is byte-
+// identical for any jobs value).
+void RunPanel(Workload workload, uint64_t io_size, int jobs) {
   std::printf("\n-- %s throughput vs latency, %s I/O --\n",
-              fxmark::WorkloadName(workload), bench::SizeName(io_size));
+              fxmark::WorkloadName(workload), bench::SizeName(io_size).c_str());
   std::printf("%-9s %5s %10s %10s %10s %10s\n", "fs", "cores", "Kops/s",
               "avg_us", "p99_us", "GiB/s");
 
@@ -37,20 +42,43 @@ void RunPanel(Workload workload, uint64_t io_size) {
   };
   std::vector<PeakRow> peaks;
 
-  for (harness::FsKind kind :
-       {harness::FsKind::kNova, harness::FsKind::kNovaDma,
-        harness::FsKind::kOdin, harness::FsKind::kEasy}) {
-    RunConfig cfg;
-    cfg.fs = kind;
-    cfg.workload = workload;
-    cfg.io_size = io_size;
-    cfg.uthreads_per_core = 2;  // §6.2: uthreads = 2x cores for EasyIO
-    std::vector<int> cores = kCores;
-    if (kind == harness::FsKind::kOdin) {
-      // 12-per-node reservation leaves at most 12 worker cores (§6.1).
-      std::erase_if(cores, [](int c) { return c > 12; });
+  const std::vector<harness::FsKind> kinds{
+      harness::FsKind::kNova, harness::FsKind::kNovaDma,
+      harness::FsKind::kOdin, harness::FsKind::kEasy};
+  // Flatten the panel into one (fs, core-count) job list so a single runner
+  // keeps all host threads fed even when one filesystem's sweep is short.
+  struct SweepCase {
+    harness::FsKind fs;
+    int cores;
+  };
+  std::vector<SweepCase> grid;
+  for (harness::FsKind kind : kinds) {
+    for (int c : kCores) {
+      if (kind == harness::FsKind::kOdin && c > 12) {
+        // 12-per-node reservation leaves at most 12 worker cores (§6.1).
+        continue;
+      }
+      grid.push_back({kind, c});
     }
-    auto sweep = fxmark::SweepCores(cfg, cores);
+  }
+  const std::vector<fxmark::CoreSweepPoint> points =
+      harness::RunIndexed(jobs, grid.size(), [&](size_t i) {
+        RunConfig cfg;
+        cfg.fs = grid[i].fs;
+        cfg.workload = workload;
+        cfg.io_size = io_size;
+        cfg.uthreads_per_core = 2;  // §6.2: uthreads = 2x cores for EasyIO
+        cfg.cores = grid[i].cores;
+        return fxmark::CoreSweepPoint{grid[i].cores, fxmark::Run(cfg)};
+      });
+  size_t next_point = 0;
+  for (size_t k = 0; k < kinds.size(); ++k) {
+    const harness::FsKind kind = kinds[k];
+    std::vector<fxmark::CoreSweepPoint> sweep;
+    while (next_point < points.size() &&
+           grid[next_point].fs == kind) {
+      sweep.push_back(points[next_point++]);
+    }
     for (const auto& point : sweep) {
       std::printf("%-9s %5d %10.1f %10.2f %10.2f %10.2f\n",
                   harness::FsKindName(kind), point.cores,
@@ -75,14 +103,15 @@ void RunPanel(Workload workload, uint64_t io_size) {
 }  // namespace
 }  // namespace easyio
 
-int main() {
+int main(int argc, char** argv) {
   using namespace easyio;
+  const int jobs = harness::ScenarioRunner::JobsFromArgs(argc, argv);
   bench::PrintHeader(
       "Figure 9: throughput vs latency, core sweep (FxMark DWAL/DRBL)");
-  RunPanel(fxmark::Workload::kDWAL, 16_KB);
-  RunPanel(fxmark::Workload::kDWAL, 64_KB);
-  RunPanel(fxmark::Workload::kDRBL, 16_KB);
-  RunPanel(fxmark::Workload::kDRBL, 64_KB);
+  RunPanel(fxmark::Workload::kDWAL, 16_KB, jobs);
+  RunPanel(fxmark::Workload::kDWAL, 64_KB, jobs);
+  RunPanel(fxmark::Workload::kDRBL, 16_KB, jobs);
+  RunPanel(fxmark::Workload::kDRBL, 64_KB, jobs);
   std::printf(
       "\nExpected shape (paper): writes — EasyIO peaks with few cores (6 at\n"
       "16K, 2 at 64K) vs NOVA's 16; NOVA/NOVA-DMA throughput collapses at\n"

@@ -12,6 +12,7 @@
 
 #include "bench/bench_util.h"
 #include "src/apps/apps.h"
+#include "src/harness/scenario_runner.h"
 
 namespace easyio {
 namespace {
@@ -21,35 +22,51 @@ using apps::AppRunConfig;
 
 const std::vector<int> kCores{1, 2, 4, 8, 12, 16};
 
-void RunApp(AppKind app) {
+const std::vector<harness::FsKind> kKinds{
+    harness::FsKind::kNova, harness::FsKind::kNovaDma, harness::FsKind::kOdin,
+    harness::FsKind::kEasy};
+
+// One independent simulation per (fs, cores) cell; the app's whole grid fans
+// out across the scenario runner, then prints from the ordered results
+// (skipped OdinFS cells carry a negative sentinel).
+void RunApp(AppKind app, int jobs) {
   std::printf("\n-- %s (ops/s) --\n", apps::AppName(app));
   std::printf("%-9s", "fs\\cores");
   for (int c : kCores) {
     std::printf("%9d", c);
   }
   std::printf("\n");
+  const size_t cols = kCores.size();
+  const std::vector<double> grid =
+      harness::RunIndexed(jobs, kKinds.size() * cols, [&](size_t i) {
+        const harness::FsKind kind = kKinds[i / cols];
+        const int cores = kCores[i % cols];
+        if (kind == harness::FsKind::kOdin && cores > 12) {
+          return -1.0;
+        }
+        AppRunConfig cfg;
+        cfg.app = app;
+        cfg.fs = kind;
+        cfg.cores = cores;
+        return apps::RunApp(cfg).ops_per_sec;
+      });
   double nova_best = 0;
   double easy_best = 0;
-  for (harness::FsKind kind :
-       {harness::FsKind::kNova, harness::FsKind::kNovaDma,
-        harness::FsKind::kOdin, harness::FsKind::kEasy}) {
+  for (size_t k = 0; k < kKinds.size(); ++k) {
+    const harness::FsKind kind = kKinds[k];
     std::printf("%-9s", harness::FsKindName(kind));
-    for (int cores : kCores) {
-      if (kind == harness::FsKind::kOdin && cores > 12) {
+    for (size_t c = 0; c < cols; ++c) {
+      const double ops = grid[k * cols + c];
+      if (ops < 0) {
         std::printf("%9s", "-");
         continue;
       }
-      AppRunConfig cfg;
-      cfg.app = app;
-      cfg.fs = kind;
-      cfg.cores = cores;
-      const auto r = apps::RunApp(cfg);
-      std::printf("%9.0f", r.ops_per_sec);
+      std::printf("%9.0f", ops);
       if (kind == harness::FsKind::kNova) {
-        nova_best = std::max(nova_best, r.ops_per_sec);
+        nova_best = std::max(nova_best, ops);
       }
       if (kind == harness::FsKind::kEasy) {
-        easy_best = std::max(easy_best, r.ops_per_sec);
+        easy_best = std::max(easy_best, ops);
       }
     }
     std::printf("\n");
@@ -61,8 +78,9 @@ void RunApp(AppKind app) {
 }  // namespace
 }  // namespace easyio
 
-int main() {
+int main(int argc, char** argv) {
   using namespace easyio;
+  const int jobs = harness::ScenarioRunner::JobsFromArgs(argc, argv);
   bench::PrintHeader(
       "Figure 10: real-world application throughput vs worker cores");
   std::printf(
@@ -73,7 +91,7 @@ int main() {
        {AppKind::kSnappy, AppKind::kJpgDecoder, AppKind::kAes, AppKind::kGrep,
         AppKind::kKnn, AppKind::kBfs, AppKind::kFileserver,
         AppKind::kWebserver}) {
-    RunApp(app);
+    RunApp(app, jobs);
   }
   std::printf(
       "\nExpected shape (paper): ~2x speedups for Snappy/Grep/BFS, ~1.5x\n"

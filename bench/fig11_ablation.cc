@@ -18,6 +18,7 @@
 #include "src/common/rng.h"
 #include "src/common/units.h"
 #include "src/fxmark/fxmark.h"
+#include "src/harness/scenario_runner.h"
 #include "src/harness/testbed.h"
 #include "src/sim/obs_session.h"
 
@@ -123,24 +124,36 @@ double DwomThroughputKops(harness::FsKind kind, int cores) {
 int main(int argc, char** argv) {
   using namespace easyio;
   // --trace=<path> records the EasyIO 64K single-thread run: every orderless
-  // write's commit / l1_hold / sn_wait phases, unsampled.
+  // write's commit / l1_hold / sn_wait phases, unsampled. The session is
+  // created inside the scenario job, so it traces exactly that simulation on
+  // whichever worker thread runs it (see src/sim/obs_session.h).
   const bench::TraceFlags trace =
       bench::ParseTraceFlags(argc, argv, /*default_sample=*/1);
+  const int jobs = harness::ScenarioRunner::JobsFromArgs(argc, argv);
   bench::PrintHeader("Figure 11 (left): orderless file operation — "
                      "single-thread write latency (us)");
   std::printf("%-8s %10s %10s %8s\n", "io", "EasyIO", "Naive", "gain");
+  const std::vector<uint64_t> ios{4_KB, 8_KB, 16_KB, 32_KB, 64_KB};
+  // Column-major pairs: [i] = EasyIO, [ios.size() + i] = Naive.
+  const std::vector<double> lat =
+      harness::RunIndexed(jobs, ios.size() * 2, [&](size_t i) {
+        const bool naive = i >= ios.size();
+        const uint64_t io = ios[i % ios.size()];
+        const bool traced = !naive && io == 64_KB && trace.enabled();
+        return WriteLatencyUs(
+            naive ? harness::FsKind::kEasyNaive : harness::FsKind::kEasy, io,
+            traced ? &trace : nullptr);
+      });
   double gain_sum = 0;
   int gain_n = 0;
-  for (uint64_t io : {4_KB, 8_KB, 16_KB, 32_KB, 64_KB}) {
-    const bool traced = io == 64_KB && trace.enabled();
-    const double easy =
-        WriteLatencyUs(harness::FsKind::kEasy, io, traced ? &trace : nullptr);
-    const double naive = WriteLatencyUs(harness::FsKind::kEasyNaive, io);
+  for (size_t i = 0; i < ios.size(); ++i) {
+    const double easy = lat[i];
+    const double naive = lat[ios.size() + i];
     const double gain = 100.0 * (naive - easy) / naive;
     gain_sum += gain;
     gain_n++;
-    std::printf("%-8s %10.2f %10.2f %7.1f%%\n", bench::SizeName(io), easy,
-                naive, gain);
+    std::printf("%-8s %10.2f %10.2f %7.1f%%\n",
+                bench::SizeName(ios[i]).c_str(), easy, naive, gain);
   }
   std::printf("average latency reduction: %.1f%% (paper: ~18%%)\n",
               gain_sum / gain_n);
@@ -148,11 +161,18 @@ int main(int argc, char** argv) {
   bench::PrintHeader("Figure 11 (right): two-level locking — DWOM 16K "
                      "shared-file writes + colocated compute (Kops/s)");
   std::printf("%-7s %10s %10s %8s\n", "cores", "EasyIO", "Naive", "gain");
-  for (int cores : {2, 4, 6, 8}) {
-    const double easy = DwomThroughputKops(harness::FsKind::kEasy, cores);
-    const double naive =
-        DwomThroughputKops(harness::FsKind::kEasyNaive, cores);
-    std::printf("%-7d %10.1f %10.1f %7.1f%%\n", cores, easy, naive,
+  const std::vector<int> core_counts{2, 4, 6, 8};
+  const std::vector<double> kops =
+      harness::RunIndexed(jobs, core_counts.size() * 2, [&](size_t i) {
+        const bool naive = i >= core_counts.size();
+        return DwomThroughputKops(
+            naive ? harness::FsKind::kEasyNaive : harness::FsKind::kEasy,
+            core_counts[i % core_counts.size()]);
+      });
+  for (size_t i = 0; i < core_counts.size(); ++i) {
+    const double easy = kops[i];
+    const double naive = kops[core_counts.size() + i];
+    std::printf("%-7d %10.1f %10.1f %7.1f%%\n", core_counts[i], easy, naive,
                 100.0 * (easy - naive) / naive);
   }
   std::printf(

@@ -16,13 +16,24 @@
 //
 // Usage:
 //   perf_harness [--smoke] [--as-baseline] [--repeats N] [--out PATH]
+//                [--jobs=N]
 //
 //   --as-baseline  record this run as the "baseline" section (seed state);
 //                  later default runs preserve it and report improvement.
 //   --smoke        tiny windows + JSON self-check; used as a ctest target.
+//   --jobs=N       run the measured mix through the scenario runner with N
+//                  worker threads. Defaults to 1: the mix measures *host*
+//                  wall time per op, and co-running simulations would
+//                  contend for cycles and inflate each other's numbers.
+//
+// Independently of --jobs, the report gains a "figure_regen_wall_s" section:
+// a fig09-like (fs x cores) scenario grid is regenerated once serially and
+// once at the host's default parallelism, recording both wall times and the
+// speedup (~1.0 on a 1-core host).
 
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -32,16 +43,19 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/common/rng.h"
 #include "src/common/units.h"
 #include "src/fxmark/fxmark.h"
+#include "src/harness/scenario_runner.h"
 #include "src/harness/testbed.h"
 #include "src/nova/allocator.h"
 #include "src/nova/layout.h"
 #include "src/nova/page_map.h"
+#include "src/sim/flow_resource.h"
 #include "src/sim/obs_session.h"
 #include "src/sim/simulation.h"
 
@@ -53,6 +67,9 @@ struct CaseResult {
   double wall_ns_per_op = 0;
   double sim_ratio = 0;  // host ns per simulated ns (0 for component loops)
   uint64_t ops = 0;
+  // Cases added after the baseline was recorded are kept out of the geomean
+  // so the baseline/current improvement stays an apples-to-apples compare.
+  bool in_geomean = true;
 };
 
 uint64_t NowNs() {
@@ -176,6 +193,62 @@ CaseResult RunAllocatorLoop(uint64_t iters, int repeats) {
   return out;
 }
 
+// Exercises the FlowResource hot path: every StartFlow/CancelFlow/completion
+// re-settles and recomputes the rates of every active flow, so this measures
+// the flow container + max-min recompute cost under a live flow set of ~24.
+CaseResult RunFlowRecomputeLoop(uint64_t iters, int repeats) {
+  CaseResult out;
+  out.name = "micro_flow_recompute";
+  out.in_geomean = false;  // added after the seed baseline was recorded
+  double best = 1e18;
+  for (int r = 0; r < repeats; ++r) {
+    sim::Simulation sim({.num_cores = 1});
+    sim::CapacityModel model;
+    model.cpu_aggregate = [](int) { return 8.0; };
+    model.dma_aggregate = [](int) { return 6.0; };
+    model.total = 12.0;
+    sim::FlowResource res(&sim, "bench", model);
+    Rng rng(11);
+    std::vector<sim::FlowResource::FlowId> live;
+    live.reserve(32);
+    uint64_t done = 0;
+    const uint64_t t0 = NowNs();
+    for (uint64_t i = 0; i < iters; ++i) {
+      live.push_back(res.StartFlow(
+          4_KB + rng.Below(16) * 4_KB, 2.0,
+          i % 3 == 0 ? sim::FlowType::kCpu : sim::FlowType::kDma,
+          [&done] { done++; }));
+      if (live.size() >= 24) {
+        // Cancel one random survivor, let the rest make progress, then drop
+        // ids the simulation completed meanwhile.
+        const size_t k = rng.Below(live.size());
+        if (res.HasFlow(live[k])) {
+          res.CancelFlow(live[k]);
+        }
+        live[k] = live.back();
+        live.pop_back();
+        sim.RunFor(2_us);
+        live.erase(std::remove_if(
+                       live.begin(), live.end(),
+                       [&res](sim::FlowResource::FlowId id) {
+                         return !res.HasFlow(id);
+                       }),
+                   live.end());
+      }
+    }
+    sim.Run();  // drain the remaining flows
+    const uint64_t wall = NowNs() - t0;
+    if (done == 0) {
+      std::fprintf(stderr, "flow recompute: no completions?\n");
+    }
+    best = std::min(best,
+                    static_cast<double>(wall) / static_cast<double>(iters));
+  }
+  out.wall_ns_per_op = best;
+  out.ops = iters;
+  return out;
+}
+
 CaseResult RunEventLoop(uint64_t iters, int repeats) {
   CaseResult out;
   out.name = "micro_event_schedule_fire";
@@ -200,14 +273,53 @@ CaseResult RunEventLoop(uint64_t iters, int repeats) {
   return out;
 }
 
+// ---------------------------------------------------- figure regeneration ----
+
+// Regenerates a fig09-like (fs x cores) scenario grid through the scenario
+// runner at the given parallelism and returns the host wall seconds. Each
+// cell is an independent simulation, so the grid scales with host threads.
+double FigureRegenWallS(int jobs, uint64_t measure_ns) {
+  struct Cell {
+    harness::FsKind fs;
+    int cores;
+  };
+  std::vector<Cell> grid;
+  for (harness::FsKind fs : {harness::FsKind::kNova, harness::FsKind::kEasy}) {
+    for (int c : {1, 2, 4, 8}) {
+      grid.push_back({fs, c});
+    }
+  }
+  const uint64_t t0 = NowNs();
+  harness::RunIndexed(jobs, grid.size(), [&](size_t i) {
+    fxmark::RunConfig cfg;
+    cfg.fs = grid[i].fs;
+    cfg.workload = fxmark::Workload::kDWAL;
+    cfg.io_size = 16_KB;
+    cfg.cores = grid[i].cores;
+    cfg.uthreads_per_core = cfg.fs == harness::FsKind::kEasy ? 2 : 1;
+    cfg.file_bytes = 4_MB;
+    cfg.warmup_ns = measure_ns / 4;
+    cfg.measure_ns = measure_ns;
+    cfg.device_bytes = 512_MB;
+    cfg.machine_cores = 16;
+    return fxmark::Run(cfg).ops;
+  });
+  return static_cast<double>(NowNs() - t0) / 1e9;
+}
+
 // ------------------------------------------------------------------ json ----
 
 double Geomean(const std::vector<CaseResult>& cases) {
   double log_sum = 0;
+  int n = 0;
   for (const auto& c : cases) {
+    if (!c.in_geomean) {
+      continue;
+    }
     log_sum += std::log(c.wall_ns_per_op);
+    n++;
   }
-  return std::exp(log_sum / static_cast<double>(cases.size()));
+  return std::exp(log_sum / static_cast<double>(n));
 }
 
 void EmitRun(std::ostringstream& os, const std::vector<CaseResult>& cases,
@@ -218,9 +330,11 @@ void EmitRun(std::ostringstream& os, const std::vector<CaseResult>& cases,
     char buf[256];
     std::snprintf(buf, sizeof(buf),
                   "%s  {\"name\": \"%s\", \"wall_ns_per_op\": %.2f, "
-                  "\"sim_ratio\": %.4f, \"ops\": %llu}%s\n",
+                  "\"sim_ratio\": %.4f, \"ops\": %llu, "
+                  "\"in_geomean\": %s}%s\n",
                   indent.c_str(), c.name.c_str(), c.wall_ns_per_op,
                   c.sim_ratio, static_cast<unsigned long long>(c.ops),
+                  c.in_geomean ? "true" : "false",
                   i + 1 < cases.size() ? "," : "");
     os << buf;
   }
@@ -295,6 +409,9 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool as_baseline = false;
   int repeats = 3;
+  // The measured mix defaults to serial: co-running simulations contend for
+  // host cycles and inflate each other's wall_ns_per_op.
+  int jobs = 1;
   std::string out_path = "BENCH_report.json";
   // --trace records the easyio_dwal_write_64k case's first repeat; heavy
   // sampling by default, this case runs hundreds of thousands of ops.
@@ -309,12 +426,14 @@ int main(int argc, char** argv) {
       repeats = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = std::max(1, std::atoi(argv[i] + 7));
     } else if (std::strncmp(argv[i], "--trace", 7) == 0) {
       // handled by ParseTraceFlags
     } else {
       std::fprintf(stderr,
                    "usage: perf_harness [--smoke] [--as-baseline] "
-                   "[--repeats N] [--out PATH] [--trace=PATH] "
+                   "[--repeats N] [--out PATH] [--jobs=N] [--trace=PATH] "
                    "[--trace-sample=N]\n");
       return 2;
     }
@@ -345,15 +464,23 @@ int main(int argc, char** argv) {
       {"nova_drbl_read_64k", harness::FsKind::kNova,
        fxmark::Workload::kDRBL, 64_KB},
   };
-  for (const auto& fx : kFxCases) {
-    const bool traced =
-        trace.enabled() && std::strcmp(fx.name, "easyio_dwal_write_64k") == 0;
-    cases.push_back(RunFxmark(fx.name, fx.fs, fx.wl, fx.io, measure, repeats,
-                              traced ? &trace : nullptr));
+  const size_t n_fx = sizeof(kFxCases) / sizeof(kFxCases[0]);
+  // The mix fans out across the scenario runner (serial unless --jobs=N);
+  // results land in submission-ordered slots, so the table below is
+  // byte-structured the same for any jobs value.
+  const std::vector<CaseResult> fx_results =
+      harness::RunIndexed(jobs, n_fx, [&](size_t i) {
+        const auto& fx = kFxCases[i];
+        const bool traced = trace.enabled() &&
+                            std::strcmp(fx.name, "easyio_dwal_write_64k") == 0;
+        return RunFxmark(fx.name, fx.fs, fx.wl, fx.io, measure, repeats,
+                         traced ? &trace : nullptr);
+      });
+  for (const CaseResult& res : fx_results) {
+    cases.push_back(res);
     std::printf("%-28s %10.1f ns/op  (sim_ratio %.3f, %llu ops)\n",
-                cases.back().name.c_str(), cases.back().wall_ns_per_op,
-                cases.back().sim_ratio,
-                static_cast<unsigned long long>(cases.back().ops));
+                res.name.c_str(), res.wall_ns_per_op, res.sim_ratio,
+                static_cast<unsigned long long>(res.ops));
   }
   cases.push_back(RunPageMapLoop(micro_iters, repeats));
   std::printf("%-28s %10.1f ns/op\n", cases.back().name.c_str(),
@@ -364,6 +491,17 @@ int main(int argc, char** argv) {
   cases.push_back(RunEventLoop(micro_iters, repeats));
   std::printf("%-28s %10.1f ns/op\n", cases.back().name.c_str(),
               cases.back().wall_ns_per_op);
+  cases.push_back(RunFlowRecomputeLoop(micro_iters / 4, repeats));
+  std::printf("%-28s %10.1f ns/op  (excluded from geomean)\n",
+              cases.back().name.c_str(), cases.back().wall_ns_per_op);
+
+  // Serial vs parallel regeneration of a figure-style scenario grid.
+  const double regen_serial_s = FigureRegenWallS(1, measure);
+  const int regen_jobs = harness::ScenarioRunner::DefaultJobs();
+  const double regen_parallel_s = FigureRegenWallS(regen_jobs, measure);
+  std::printf("%-28s serial %.2fs, parallel(%d jobs) %.2fs, %.2fx\n",
+              "figure_regen", regen_serial_s, regen_jobs, regen_parallel_s,
+              regen_serial_s / regen_parallel_s);
 
   // Previous report (to carry the baseline forward).
   std::string prev;
@@ -392,6 +530,17 @@ int main(int argc, char** argv) {
   os << "  \"current\": {\n";
   EmitRun(os, cases, "    ");
   os << "  },\n";
+  {
+    char regen_buf[256];
+    std::snprintf(regen_buf, sizeof(regen_buf),
+                  "  \"figure_regen_wall_s\": {\"serial_s\": %.3f, "
+                  "\"parallel_s\": %.3f, \"speedup\": %.2f, \"jobs\": %d, "
+                  "\"host_threads\": %u},\n",
+                  regen_serial_s, regen_parallel_s,
+                  regen_serial_s / regen_parallel_s, regen_jobs,
+                  std::thread::hardware_concurrency());
+    os << regen_buf;
+  }
   const double base_geo = ExtractGeomean(baseline_block);
   const double cur_geo = Geomean(cases);
   char buf[160];
@@ -426,7 +575,8 @@ int main(int argc, char** argv) {
     ss << in.rdbuf();
     const std::string s = ss.str();
     if (!JsonBalanced(s) || s.find("\"current\"") == std::string::npos ||
-        s.find("\"geomean_ns_per_op\"") == std::string::npos) {
+        s.find("\"geomean_ns_per_op\"") == std::string::npos ||
+        s.find("\"figure_regen_wall_s\"") == std::string::npos) {
       std::fprintf(stderr, "perf_harness --smoke: report failed self-check\n");
       return 1;
     }

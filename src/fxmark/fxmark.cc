@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/common/rng.h"
+#include "src/harness/scenario_runner.h"
 
 namespace easyio::fxmark {
 
@@ -135,13 +136,13 @@ RunResult Run(const RunConfig& config) {
 }
 
 std::vector<CoreSweepPoint> SweepCores(RunConfig config,
-                                       const std::vector<int>& core_counts) {
-  std::vector<CoreSweepPoint> sweep;
-  for (int cores : core_counts) {
-    config.cores = cores;
-    sweep.push_back(CoreSweepPoint{cores, Run(config)});
-  }
-  return sweep;
+                                       const std::vector<int>& core_counts,
+                                       int jobs) {
+  return harness::RunIndexed(jobs, core_counts.size(), [&](size_t i) {
+    RunConfig point_cfg = config;
+    point_cfg.cores = core_counts[i];
+    return CoreSweepPoint{core_counts[i], Run(point_cfg)};
+  });
 }
 
 int CoresAtPeak(const std::vector<CoreSweepPoint>& sweep, double fraction) {

@@ -73,12 +73,17 @@ RunResult Run(const RunConfig& config);
 // Sweeps worker core counts and returns the minimum that reaches
 // `fraction` (e.g. 0.95) of the peak throughput seen across the sweep —
 // the paper's "cores at peak" tables in Fig 9.
+//
+// Each sweep point is an independent Simulation, so the sweep fans out
+// across `jobs` host threads (harness::ScenarioRunner); results come back
+// in core_counts order and are byte-identical for any jobs value.
 struct CoreSweepPoint {
   int cores;
   RunResult result;
 };
 std::vector<CoreSweepPoint> SweepCores(RunConfig config,
-                                       const std::vector<int>& core_counts);
+                                       const std::vector<int>& core_counts,
+                                       int jobs = 1);
 int CoresAtPeak(const std::vector<CoreSweepPoint>& sweep, double fraction);
 
 }  // namespace easyio::fxmark

@@ -9,7 +9,7 @@
 namespace easyio::obs {
 
 namespace internal {
-Tracer* g_tracer = nullptr;
+constinit thread_local Tracer* g_tracer = nullptr;
 }  // namespace internal
 
 void Install(Tracer* tracer) {

@@ -149,16 +149,23 @@ class Tracer {
 };
 
 namespace internal {
-// Single definition in trace.cc. Read through obs::Get() only.
-extern Tracer* g_tracer;
+// Single definition in trace.cc. Read through obs::Get() only. Per host
+// thread: a tracer installed on one scenario-runner worker is invisible to
+// (and cannot race with) simulations running on other workers.
+// constinit: constant-initialized TLS needs no init-guard wrapper, so the
+// disabled-path read below stays a single thread-pointer-relative load.
+extern constinit thread_local Tracer* g_tracer;
 }  // namespace internal
 
-// The installed tracer, or nullptr when tracing is disabled. The null check
-// is the entire disabled-path cost of every instrumentation site.
+// The installed tracer for the calling host thread, or nullptr when tracing
+// is disabled on it. The null check is the entire disabled-path cost of
+// every instrumentation site.
 inline Tracer* Get() { return internal::g_tracer; }
-// Install/remove the global tracer. Not thread-safe (the simulator is
-// single-threaded by construction); installing over an existing tracer or
-// uninstalling a tracer that is not installed is a programming error.
+// Install/remove the calling thread's tracer. A Tracer instance is
+// single-threaded: install, record, and uninstall it all on one host thread
+// (sim::TraceSession's scoped lifetime guarantees this). Installing over an
+// existing tracer or uninstalling a tracer that is not installed is a
+// programming error.
 void Install(Tracer* tracer);
 void Uninstall(Tracer* tracer);
 

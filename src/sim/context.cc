@@ -6,15 +6,55 @@
 
 namespace easyio::sim {
 
+#if defined(EASYIO_TSAN_FIBERS)
+
+// Not provided by a public header on every toolchain; the symbols live in
+// the TSan runtime that -fsanitize=thread links in.
+extern "C" {
+void* __tsan_get_current_fiber(void);
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+
+namespace {
+// Tells TSan we are about to move this host thread onto `to`'s stack. The
+// saved-into context lazily adopts the thread's current fiber the first time
+// it is swapped out of (that covers Simulation's host context, which is
+// never MakeContext'd); adopted fibers belong to the thread, so
+// ReleaseContext leaves them alone.
+inline void TsanBeforeSwap(Context* from, Context* to) {
+  if (from->tsan_fiber == nullptr) {
+    from->tsan_fiber = __tsan_get_current_fiber();
+  }
+  __tsan_switch_to_fiber(to->tsan_fiber, 0);
+}
+}  // namespace
+
+void ReleaseContext(Context* ctx) {
+  if (ctx->tsan_fiber != nullptr && ctx->tsan_fiber_owned) {
+    __tsan_destroy_fiber(ctx->tsan_fiber);
+  }
+  ctx->tsan_fiber = nullptr;
+  ctx->tsan_fiber_owned = false;
+}
+
+#else
+
+void ReleaseContext(Context* ctx) { (void)ctx; }
+
+#endif  // EASYIO_TSAN_FIBERS
+
 #if defined(EASYIO_UCONTEXT)
 
 namespace {
 // ucontext's makecontext only forwards int arguments portably; stash the
-// (entry, arg) pair and fetch it from the trampoline. The simulation is
-// single-threaded so a single slot is sufficient (MakeContext and the first
-// switch never interleave).
-ContextEntry g_pending_entry;
-void* g_pending_arg;
+// (entry, arg) pair and fetch it from the trampoline. A simulation is
+// single-threaded so one slot per host thread is sufficient (MakeContext and
+// the first switch never interleave); thread_local keeps concurrent
+// scenario workers from clobbering each other's slot.
+thread_local ContextEntry g_pending_entry;
+thread_local void* g_pending_arg;
 
 void UcontextTrampoline() {
   ContextEntry entry = g_pending_entry;
@@ -34,9 +74,17 @@ void MakeContext(Context* ctx, void* stack_base, size_t stack_size,
   g_pending_entry = entry;
   g_pending_arg = arg;
   makecontext(&ctx->uc, UcontextTrampoline, 0);
+#if defined(EASYIO_TSAN_FIBERS)
+  ReleaseContext(ctx);
+  ctx->tsan_fiber = __tsan_create_fiber(0);
+  ctx->tsan_fiber_owned = true;
+#endif
 }
 
 void SwapContext(Context* from, Context* to) {
+#if defined(EASYIO_TSAN_FIBERS)
+  TsanBeforeSwap(from, to);
+#endif
   swapcontext(&from->uc, &to->uc);
 }
 
@@ -120,9 +168,19 @@ void MakeContext(Context* ctx, void* stack_base, size_t stack_size,
   frame[6] = reinterpret_cast<uint64_t>(&easyio_ctx_entry_decl);
 
   ctx->sp = frame;
+#if defined(EASYIO_TSAN_FIBERS)
+  ReleaseContext(ctx);
+  ctx->tsan_fiber = __tsan_create_fiber(0);
+  ctx->tsan_fiber_owned = true;
+#endif
 }
 
-void SwapContext(Context* from, Context* to) { easyio_ctx_swap(from, to); }
+void SwapContext(Context* from, Context* to) {
+#if defined(EASYIO_TSAN_FIBERS)
+  TsanBeforeSwap(from, to);
+#endif
+  easyio_ctx_swap(from, to);
+}
 
 #else
 #error "Unsupported architecture: build with -DEASYIO_USE_UCONTEXT=ON"

@@ -21,16 +21,36 @@
 
 namespace easyio::sim {
 
+// ThreadSanitizer cannot follow a raw stack switch: without annotations it
+// sees one host thread's shadow stack teleport, and reports bogus races (or
+// crashes) the first time a coroutine runs. When the build is sanitized we
+// register every context as a TSan "fiber" and announce each switch.
+#if defined(__SANITIZE_THREAD__)
+#define EASYIO_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define EASYIO_TSAN_FIBERS 1
+#endif
+#endif
+
 #if defined(EASYIO_UCONTEXT)
 
 struct Context {
   ucontext_t uc;
+#if defined(EASYIO_TSAN_FIBERS)
+  void* tsan_fiber = nullptr;
+  bool tsan_fiber_owned = false;  // created by MakeContext (vs adopted)
+#endif
 };
 
 #else
 
 struct Context {
   void* sp = nullptr;  // saved stack pointer; register area lives on the stack
+#if defined(EASYIO_TSAN_FIBERS)
+  void* tsan_fiber = nullptr;
+  bool tsan_fiber_owned = false;  // created by MakeContext (vs adopted)
+#endif
 };
 
 #endif
@@ -44,6 +64,11 @@ void MakeContext(Context* ctx, void* stack_base, size_t stack_size,
 
 // Saves the current context into `from` and resumes `to`.
 void SwapContext(Context* from, Context* to);
+
+// Frees any sanitizer bookkeeping attached to a context whose coroutine has
+// finished (or was never started). Must not be called on the context that is
+// currently executing. No-op in unsanitized builds.
+void ReleaseContext(Context* ctx);
 
 }  // namespace easyio::sim
 

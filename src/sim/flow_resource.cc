@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <vector>
 
 #include "src/common/units.h"
 
@@ -20,6 +19,25 @@ FlowResource::FlowResource(Simulation* sim, std::string name,
     : sim_(sim), name_(std::move(name)), model_(std::move(model)),
       last_settle_(sim->now()) {}
 
+std::vector<FlowResource::Flow>::iterator FlowResource::FindFlow(FlowId id) {
+  auto it = std::lower_bound(
+      flows_.begin(), flows_.end(), id,
+      [](const Flow& f, FlowId value) { return f.id < value; });
+  return it != flows_.end() && it->id == id ? it : flows_.end();
+}
+
+std::vector<FlowResource::Flow>::const_iterator FlowResource::FindFlow(
+    FlowId id) const {
+  auto it = std::lower_bound(
+      flows_.begin(), flows_.end(), id,
+      [](const Flow& f, FlowId value) { return f.id < value; });
+  return it != flows_.end() && it->id == id ? it : flows_.end();
+}
+
+bool FlowResource::HasFlow(FlowId id) const {
+  return FindFlow(id) != flows_.end();
+}
+
 FlowResource::FlowId FlowResource::StartFlow(uint64_t bytes,
                                              double per_flow_cap_gbps,
                                              FlowType type, DoneFn done) {
@@ -32,18 +50,18 @@ FlowResource::FlowId FlowResource::StartFlow(uint64_t bytes,
   flow.bytes_left = static_cast<double>(bytes);
   flow.cap_gbps = per_flow_cap_gbps;
   flow.done = std::move(done);
-  flows_.emplace(id, std::move(flow));
+  flows_.push_back(std::move(flow));  // ids are monotonic: stays sorted
   (type == FlowType::kCpu ? cpu_flows_ : dma_flows_)++;
   Recompute();
   return id;
 }
 
 double FlowResource::Progress(FlowId id) const {
-  auto it = flows_.find(id);
+  auto it = FindFlow(id);
   if (it == flows_.end()) {
     return 1.0;
   }
-  const Flow& f = it->second;
+  const Flow& f = *it;
   if (f.bytes_total <= 0) {
     return 1.0;
   }
@@ -55,11 +73,11 @@ double FlowResource::Progress(FlowId id) const {
 
 double FlowResource::CancelFlow(FlowId id) {
   Settle();
-  auto it = flows_.find(id);
+  auto it = FindFlow(id);
   if (it == flows_.end()) {
     return 1.0;
   }
-  const Flow& f = it->second;
+  const Flow& f = *it;
   const double progress =
       f.bytes_total <= 0
           ? 1.0
@@ -67,7 +85,7 @@ double FlowResource::CancelFlow(FlowId id) {
   bytes_completed_ +=
       static_cast<uint64_t>(f.bytes_total - std::max(0.0, f.bytes_left));
   (f.type == FlowType::kCpu ? cpu_flows_ : dma_flows_)--;
-  flows_.erase(it);
+  flows_.erase(it);  // shifts the tail; ascending-id order is preserved
   Recompute();
   return progress;
 }
@@ -78,17 +96,17 @@ void FlowResource::Settle() {
     return;
   }
   const double elapsed_s = static_cast<double>(now - last_settle_) / 1e9;
-  for (auto& [id, flow] : flows_) {
+  for (Flow& flow : flows_) {
     flow.bytes_left = std::max(0.0, flow.bytes_left - flow.rate_bps * elapsed_s);
   }
   last_settle_ = now;
 }
 
-void FlowResource::MaxMin(std::map<FlowId, Flow>& flows, FlowType type,
+void FlowResource::MaxMin(std::vector<Flow>& flows, FlowType type,
                           double aggregate_gbps, double* sum_rate_bps) {
   // Water-filling in ascending per-flow-cap order.
   std::vector<Flow*> group;
-  for (auto& [id, flow] : flows) {
+  for (Flow& flow : flows) {
     if (flow.type == type) {
       group.push_back(&flow);
     }
@@ -142,7 +160,7 @@ void FlowResource::Recompute() {
   double rate_sum = cpu_sum + dma_sum;
   if (rate_sum > total_bps && rate_sum > 0) {
     const double scale = total_bps / rate_sum;
-    for (auto& [id, flow] : flows_) {
+    for (Flow& flow : flows_) {
       flow.rate_bps *= scale;
     }
     rate_sum = total_bps;
@@ -156,7 +174,7 @@ void FlowResource::Recompute() {
 
   // Schedule the earliest completion.
   double min_dt_ns = -1;
-  for (auto& [id, flow] : flows_) {
+  for (const Flow& flow : flows_) {
     if (flow.bytes_left <= kDoneEpsilonBytes) {
       min_dt_ns = 0;
       break;
@@ -179,18 +197,24 @@ void FlowResource::Recompute() {
     pending_event_ = 0;
     Settle();
     // Collect and remove all flows that just finished, then recompute before
-    // running callbacks (callbacks may start new flows).
+    // running callbacks (callbacks may start new flows). The in-place
+    // compaction keeps surviving flows in ascending-id order.
     std::vector<DoneFn> done;
-    for (auto it = flows_.begin(); it != flows_.end();) {
-      if (it->second.bytes_left <= kDoneEpsilonBytes) {
-        bytes_completed_ += static_cast<uint64_t>(it->second.bytes_total);
-        (it->second.type == FlowType::kCpu ? cpu_flows_ : dma_flows_)--;
-        done.push_back(std::move(it->second.done));
-        it = flows_.erase(it);
+    size_t keep = 0;
+    for (size_t i = 0; i < flows_.size(); ++i) {
+      Flow& flow = flows_[i];
+      if (flow.bytes_left <= kDoneEpsilonBytes) {
+        bytes_completed_ += static_cast<uint64_t>(flow.bytes_total);
+        (flow.type == FlowType::kCpu ? cpu_flows_ : dma_flows_)--;
+        done.push_back(std::move(flow.done));
       } else {
-        ++it;
+        if (keep != i) {
+          flows_[keep] = std::move(flow);
+        }
+        keep++;
       }
     }
+    flows_.resize(keep);
     Recompute();
     for (DoneFn& fn : done) {
       if (fn) {

@@ -24,8 +24,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
+#include <vector>
 
 #include "src/sim/simulation.h"
 #include "src/sim/time.h"
@@ -67,7 +67,7 @@ class FlowResource {
   // the crash injector). Returns the fraction completed at abort time.
   double CancelFlow(FlowId id);
 
-  bool HasFlow(FlowId id) const { return flows_.contains(id); }
+  bool HasFlow(FlowId id) const;
   int active_flows(FlowType type) const {
     return type == FlowType::kCpu ? cpu_flows_ : dma_flows_;
   }
@@ -106,13 +106,21 @@ class FlowResource {
 
   void Settle();       // account transferred bytes up to now
   void Recompute();    // recompute rates + (re)schedule next completion
-  static void MaxMin(std::map<FlowId, Flow>& flows, FlowType type,
+  static void MaxMin(std::vector<Flow>& flows, FlowType type,
                      double aggregate_gbps, double* sum_rate_bps);
+  // Binary search by id; flows_.end() if absent.
+  std::vector<Flow>::iterator FindFlow(FlowId id);
+  std::vector<Flow>::const_iterator FindFlow(FlowId id) const;
 
   Simulation* sim_;
   std::string name_;
   CapacityModel model_;
-  std::map<FlowId, Flow> flows_;  // ordered => deterministic iteration
+  // Settle/Recompute walk every flow on each flow-set change, so the
+  // container is the hot path. Ids are handed out monotonically, so
+  // push_back keeps the vector sorted by id and iteration order matches the
+  // std::map this replaced (ascending id => deterministic); lookups are
+  // binary searches, erases shift the tail and preserve order.
+  std::vector<Flow> flows_;
   int cpu_flows_ = 0;
   int dma_flows_ = 0;
   FlowId next_id_ = 1;

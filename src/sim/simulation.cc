@@ -10,7 +10,10 @@ namespace easyio::sim {
 
 namespace {
 // Stack of live simulations; supports nested simulations in tests.
-std::vector<Simulation*> g_sim_stack;
+// thread_local so distinct Simulation instances can run on distinct host
+// threads (harness::ScenarioRunner): each thread sees only the simulations
+// constructed on it, and Simulation::Get() resolves per thread.
+thread_local std::vector<Simulation*> g_sim_stack;
 }  // namespace
 
 Simulation::Simulation(const Options& options)
@@ -29,6 +32,7 @@ Simulation::~Simulation() {
       delete[] task->stack_;
       task->stack_ = nullptr;
     }
+    ReleaseContext(&task->ctx_);
   }
   std::erase(g_sim_stack, this);
 }
@@ -316,6 +320,7 @@ void Simulation::HandleDirective(Task* t) {
       t->fn_ = nullptr;  // release any captured workload state
       RecycleStack(t->stack_);
       t->stack_ = nullptr;
+      ReleaseContext(&t->ctx_);  // sanitizer fiber bookkeeping, if any
       MarkCoreIdle(core);
       KickCore(t->core_);
       if (t->detached_) {

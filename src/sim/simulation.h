@@ -22,6 +22,16 @@
 //
 // Determinism: events fire in (time, sequence) order; no wall-clock time or
 // host threading is involved anywhere.
+//
+// Thread compatibility: a Simulation is single-threaded — every method,
+// including construction and destruction, must be called from the host
+// thread that created it (tasks always run on that thread, so task-side
+// calls trivially comply). *Distinct* instances are independent and may run
+// concurrently on distinct host threads: the only cross-instance state, the
+// live-simulation stack behind Simulation::Get(), is thread_local, so Get()
+// resolves to the innermost simulation constructed on the calling thread.
+// harness::ScenarioRunner exploits this to fan independent scenarios across
+// a worker pool while each scenario stays byte-identical to a serial run.
 
 #ifndef EASYIO_SIM_SIMULATION_H_
 #define EASYIO_SIM_SIMULATION_H_
@@ -68,9 +78,10 @@ class Simulation {
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
-  // The most recently constructed, still-alive simulation. Convenience for
-  // deeply nested code (modeled primitives) that would otherwise thread the
-  // pointer everywhere.
+  // The most recently constructed, still-alive simulation *on the calling
+  // host thread*. Convenience for deeply nested code (modeled primitives)
+  // that would otherwise thread the pointer everywhere; per-thread so
+  // concurrent scenario workers never observe each other's instances.
   static Simulation* Get();
 
   SimTime now() const { return now_; }
