@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "src/dma/fault_plan.h"
+
 namespace easyio::bench {
 
 inline void PrintHeader(const std::string& title) {
@@ -44,6 +46,40 @@ inline TraceFlags ParseTraceFlags(int argc, char** argv,
     }
   }
   return f;
+}
+
+// --faults=<seed> command-line handling: a nonzero seed turns on DMA fault
+// injection with a seeded random FaultPlan (see MakeBenchFaultPlan). Seed 0
+// (or no flag) leaves injection off; a bench run without the flag and one
+// with --faults=0 print byte-identical output. Unknown arguments are
+// ignored, matching ParseTraceFlags.
+struct FaultFlags {
+  uint64_t seed = 0;
+  bool enabled() const { return seed != 0; }
+};
+
+inline FaultFlags ParseFaultFlags(int argc, char** argv) {
+  FaultFlags f;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--faults=", 9) == 0) {
+      f.seed = std::strtoull(a + 9, nullptr, 10);
+    }
+  }
+  return f;
+}
+
+// The shared fault shape for figure benches: a couple of transfer errors,
+// one stall and one torn record per channel on average, all inside the
+// first 128 descriptors each channel sees so the faults actually fire on
+// short runs. Deterministic in (seed, num_channels).
+inline dma::FaultPlan MakeBenchFaultPlan(uint64_t seed, int num_channels) {
+  return dma::FaultPlan::Random(seed, num_channels,
+                                /*n_errors=*/2 * num_channels,
+                                /*n_stalls=*/num_channels,
+                                /*n_torn=*/num_channels,
+                                /*ordinal_range=*/128,
+                                /*stall_ns=*/50'000);
 }
 
 // Returns by value (not a shared static buffer): two SizeName calls in one

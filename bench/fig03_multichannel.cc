@@ -6,11 +6,13 @@
 // declines and peaks at 2-4 channels.
 
 #include <cstdio>
+#include <optional>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/common/units.h"
 #include "src/dma/dma_engine.h"
+#include "src/dma/fault_plan.h"
 #include "src/harness/scenario_runner.h"
 #include "src/pmem/slow_memory.h"
 #include "src/sim/simulation.h"
@@ -21,10 +23,16 @@ namespace {
 constexpr uint64_t kDuration = 30_ms;
 constexpr int kCores = 16;
 
-double RunDma(bool is_write, uint64_t io_size, int channels) {
+double RunDma(bool is_write, uint64_t io_size, int channels,
+              uint64_t fault_seed) {
   sim::Simulation sim({.num_cores = kCores});
   pmem::SlowMemory mem(&sim, pmem::MediaParams::OneNode(), 256_MB);
   dma::DmaEngine engine(&mem, 0, channels);
+  std::optional<dma::FaultInjector> injector;
+  if (fault_seed != 0) {
+    injector.emplace(bench::MakeBenchFaultPlan(fault_seed, channels));
+    engine.AttachFaultInjector(&*injector);
+  }
   uint64_t bytes_done = 0;
   bool stop = false;
   sim.ScheduleAt(kDuration, [&] { stop = true; });
@@ -42,7 +50,10 @@ double RunDma(bool is_write, uint64_t io_size, int channels) {
         d.dram = buf.data();
         d.size = static_cast<uint32_t>(io_size);
         const dma::Sn sn = ch.Submit(std::move(d));
-        ch.WaitSnBusy(sn);
+        // busy=true keeps the no-fault path timing-identical to WaitSnBusy;
+        // under --faults the wait also retries errors and falls back to a
+        // CPU copy when retries run out.
+        ch.WaitSnRecover(sn, dma::RetryPolicy{.busy = true});
         bytes_done += io_size;
         off = (off + io_size) % 4_MB;
       }
@@ -57,7 +68,7 @@ const std::vector<uint64_t> kIoSizes{4_KB, 16_KB, 64_KB};
 
 // Each grid point is an independent simulation; the whole direction fans out
 // across the scenario runner and prints from the ordered result vector.
-void RunDirection(bool is_write, int jobs) {
+void RunDirection(bool is_write, int jobs, uint64_t fault_seed) {
   std::printf("\n-- %s bandwidth (GiB/s), 16 cores --\n",
               is_write ? "Write" : "Read");
   std::printf("%-10s", "io\\chans");
@@ -68,8 +79,8 @@ void RunDirection(bool is_write, int jobs) {
   const size_t cols = kChannelCounts.size();
   const std::vector<double> gibps =
       harness::RunIndexed(jobs, kIoSizes.size() * cols, [&](size_t i) {
-        return RunDma(is_write, kIoSizes[i / cols],
-                      kChannelCounts[i % cols]);
+        return RunDma(is_write, kIoSizes[i / cols], kChannelCounts[i % cols],
+                      fault_seed);
       });
   for (size_t row = 0; row < kIoSizes.size(); ++row) {
     std::printf("%-10s", bench::SizeName(kIoSizes[row]).c_str());
@@ -86,9 +97,12 @@ void RunDirection(bool is_write, int jobs) {
 int main(int argc, char** argv) {
   using namespace easyio;
   const int jobs = harness::ScenarioRunner::JobsFromArgs(argc, argv);
+  // --faults=<seed> injects a seeded random DMA fault plan into every grid
+  // point; seed 0 (the default) is byte-identical to a run without the flag.
+  const bench::FaultFlags faults = bench::ParseFaultFlags(argc, argv);
   bench::PrintHeader("Figure 3: DMA bandwidth vs number of channels");
-  RunDirection(/*is_write=*/true, jobs);
-  RunDirection(/*is_write=*/false, jobs);
+  RunDirection(/*is_write=*/true, jobs, faults.seed);
+  RunDirection(/*is_write=*/false, jobs, faults.seed);
   std::printf(
       "\nExpected shape (paper): writes peak at 4 channels for 4K and fall\n"
       "monotonically with channels for 64K; reads never decline, peak 2-4.\n");

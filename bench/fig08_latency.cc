@@ -24,11 +24,18 @@ struct Point {
   double cpu_us;
 };
 
+// Set from --faults=<seed> in main before any scenario job runs; 0 = off.
+uint64_t g_fault_seed = 0;
+
 Point Measure(harness::FsKind kind, bool is_write, uint64_t io_size) {
   harness::TestbedConfig cfg;
   cfg.fs = kind;
   cfg.machine_cores = 36;
   cfg.device_bytes = 256_MB;
+  if (g_fault_seed != 0) {
+    cfg.faults = bench::MakeBenchFaultPlan(
+        g_fault_seed, static_cast<int>(cfg.fs_options.comp_channels));
+  }
   harness::Testbed tb(cfg);
   Point out{0, 0};
   constexpr int kOps = 200;
@@ -89,6 +96,9 @@ void RunDirection(bool is_write, int jobs) {
 int main(int argc, char** argv) {
   using namespace easyio;
   const int jobs = harness::ScenarioRunner::JobsFromArgs(argc, argv);
+  // --faults=<seed> injects a seeded DMA fault plan into every point's
+  // testbed; seed 0 (the default) is byte-identical to no flag.
+  g_fault_seed = bench::ParseFaultFlags(argc, argv).seed;
   bench::PrintHeader("Figure 8: operation latency by filesystem (1 thread)");
   RunDirection(/*is_write=*/true, jobs);
   RunDirection(/*is_write=*/false, jobs);

@@ -25,6 +25,9 @@ using fxmark::Workload;
 
 const std::vector<int> kCores{1, 2, 4, 6, 8, 12, 16, 20, 24};
 
+// Set from --faults=<seed> in main before any scenario job runs; 0 = off.
+uint64_t g_fault_seed = 0;
+
 // Every (fs, core-count) sweep point is an independent simulation; the
 // panel's four sweeps fan out together across the scenario runner (the
 // per-sweep results stay in core_counts order, so the table is byte-
@@ -69,6 +72,11 @@ void RunPanel(Workload workload, uint64_t io_size, int jobs) {
         cfg.io_size = io_size;
         cfg.uthreads_per_core = 2;  // §6.2: uthreads = 2x cores for EasyIO
         cfg.cores = grid[i].cores;
+        if (g_fault_seed != 0) {
+          cfg.faults = bench::MakeBenchFaultPlan(
+              g_fault_seed,
+              static_cast<int>(nova::NovaFs::Options{}.comp_channels));
+        }
         return fxmark::CoreSweepPoint{grid[i].cores, fxmark::Run(cfg)};
       });
   size_t next_point = 0;
@@ -106,6 +114,9 @@ void RunPanel(Workload workload, uint64_t io_size, int jobs) {
 int main(int argc, char** argv) {
   using namespace easyio;
   const int jobs = harness::ScenarioRunner::JobsFromArgs(argc, argv);
+  // --faults=<seed> injects a seeded DMA fault plan into every sweep
+  // point's testbed; seed 0 (the default) is byte-identical to no flag.
+  g_fault_seed = bench::ParseFaultFlags(argc, argv).seed;
   bench::PrintHeader(
       "Figure 9: throughput vs latency, core sweep (FxMark DWAL/DRBL)");
   RunPanel(fxmark::Workload::kDWAL, 16_KB, jobs);

@@ -22,6 +22,9 @@ using apps::AppRunConfig;
 
 const std::vector<int> kCores{1, 2, 4, 8, 12, 16};
 
+// Set from --faults=<seed> in main before any scenario job runs; 0 = off.
+uint64_t g_fault_seed = 0;
+
 const std::vector<harness::FsKind> kKinds{
     harness::FsKind::kNova, harness::FsKind::kNovaDma, harness::FsKind::kOdin,
     harness::FsKind::kEasy};
@@ -48,6 +51,11 @@ void RunApp(AppKind app, int jobs) {
         cfg.app = app;
         cfg.fs = kind;
         cfg.cores = cores;
+        if (g_fault_seed != 0) {
+          cfg.faults = bench::MakeBenchFaultPlan(
+              g_fault_seed,
+              static_cast<int>(nova::NovaFs::Options{}.comp_channels));
+        }
         return apps::RunApp(cfg).ops_per_sec;
       });
   double nova_best = 0;
@@ -81,6 +89,9 @@ void RunApp(AppKind app, int jobs) {
 int main(int argc, char** argv) {
   using namespace easyio;
   const int jobs = harness::ScenarioRunner::JobsFromArgs(argc, argv);
+  // --faults=<seed> injects a seeded DMA fault plan into every cell's
+  // testbed; seed 0 (the default) is byte-identical to no flag.
+  g_fault_seed = bench::ParseFaultFlags(argc, argv).seed;
   bench::PrintHeader(
       "Figure 10: real-world application throughput vs worker cores");
   std::printf(

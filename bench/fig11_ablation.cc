@@ -25,12 +25,23 @@
 namespace easyio {
 namespace {
 
+// Set from --faults=<seed> in main before any scenario job runs; 0 = off.
+uint64_t g_fault_seed = 0;
+
+void MaybeInjectFaults(harness::TestbedConfig* cfg) {
+  if (g_fault_seed != 0) {
+    cfg->faults = bench::MakeBenchFaultPlan(
+        g_fault_seed, static_cast<int>(cfg->fs_options.comp_channels));
+  }
+}
+
 double WriteLatencyUs(harness::FsKind kind, uint64_t io_size,
                       const bench::TraceFlags* trace = nullptr) {
   harness::TestbedConfig cfg;
   cfg.fs = kind;
   cfg.machine_cores = 4;
   cfg.device_bytes = 256_MB;
+  MaybeInjectFaults(&cfg);
   harness::Testbed tb(cfg);
   std::unique_ptr<sim::TraceSession> session;
   if (trace != nullptr && trace->enabled()) {
@@ -68,6 +79,7 @@ double DwomThroughputKops(harness::FsKind kind, int cores) {
   tb_cfg.fs = kind;
   tb_cfg.machine_cores = 16;
   tb_cfg.device_bytes = 1_GB;
+  MaybeInjectFaults(&tb_cfg);
   harness::Testbed tb(tb_cfg);
 
   // Shared file.
@@ -129,6 +141,9 @@ int main(int argc, char** argv) {
   // whichever worker thread runs it (see src/sim/obs_session.h).
   const bench::TraceFlags trace =
       bench::ParseTraceFlags(argc, argv, /*default_sample=*/1);
+  // --faults=<seed> injects a seeded DMA fault plan into every run's
+  // testbed; seed 0 (the default) is byte-identical to no flag.
+  g_fault_seed = bench::ParseFaultFlags(argc, argv).seed;
   const int jobs = harness::ScenarioRunner::JobsFromArgs(argc, argv);
   bench::PrintHeader("Figure 11 (left): orderless file operation — "
                      "single-thread write latency (us)");

@@ -388,6 +388,7 @@ AppResult RunApp(const AppRunConfig& config) {
   tb_cfg.fs = config.fs;
   tb_cfg.machine_cores = config.machine_cores;
   tb_cfg.device_bytes = config.device_bytes;
+  tb_cfg.faults = config.faults;
   harness::Testbed tb(tb_cfg);
 
   const bool is_easy = config.fs == harness::FsKind::kEasy ||

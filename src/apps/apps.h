@@ -48,6 +48,8 @@ struct AppRunConfig {
   uint64_t seed = 7;
   int machine_cores = 36;
   size_t device_bytes = 1_GB;
+  // DMA fault plan forwarded to the testbed; empty = injection off.
+  dma::FaultPlan faults;
 };
 
 struct AppResult {

@@ -20,7 +20,10 @@ void NovaDmaFs::MoveToPmem(uint64_t pmem_off, const std::byte* src,
     d.dram = const_cast<std::byte*>(src);
     d.size = static_cast<uint32_t>(bytes);
     const dma::Sn sn = ch->Submit(std::move(d));
-    ch->WaitSnBusy(sn);  // synchronous interface: poll, core stays busy
+    // Synchronous interface: poll, core stays busy. Recovery-aware so an
+    // injected transfer error is retried (and finally CPU-copied) instead
+    // of spinning forever on a halted channel.
+    ch->WaitSnRecover(sn, recover_policy_);
   });
 }
 
@@ -34,7 +37,7 @@ void NovaDmaFs::MoveFromPmem(std::byte* dst, uint64_t pmem_off, size_t bytes,
     d.dram = dst;
     d.size = static_cast<uint32_t>(bytes);
     const dma::Sn sn = ch->Submit(std::move(d));
-    ch->WaitSnBusy(sn);
+    ch->WaitSnRecover(sn, recover_policy_);
   });
 }
 

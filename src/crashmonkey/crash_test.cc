@@ -203,17 +203,26 @@ namespace {
 struct Env {
   sim::Simulation sim{{.num_cores = 2}};
   pmem::SlowMemory mem;
+  // Declared before the engine: channels hold a raw pointer to it.
+  std::unique_ptr<dma::FaultInjector> injector;
   std::unique_ptr<core::EasyIoFs> fs;
   std::unique_ptr<dma::DmaEngine> engine;
   std::unique_ptr<core::ChannelManager> cm;
 
-  explicit Env(const nova::NovaFs::Options& opts)
+  explicit Env(const nova::NovaFs::Options& opts,
+               const dma::FaultPlan* faults = nullptr)
       : mem(&sim, pmem::MediaParams::TwoNode(), 24_MB) {
     fs = std::make_unique<core::EasyIoFs>(&mem, opts,
                                           core::EasyIoFs::EasyOptions{});
     EASYIO_CHECK_OK(fs->Format());
     engine = std::make_unique<dma::DmaEngine>(
         &mem, fs->layout().comp_region_off, 16);
+    if (faults != nullptr && !faults->empty()) {
+      // Fresh injector per Env: Take* consumes plan entries, and every run
+      // must replay the same faults.
+      injector = std::make_unique<dma::FaultInjector>(*faults);
+      engine->AttachFaultInjector(injector.get());
+    }
     cm = std::make_unique<core::ChannelManager>(
         &sim, engine.get(), core::ChannelManager::Options{});
     fs->AttachChannelManager(cm.get());
@@ -290,11 +299,14 @@ nova::NovaFs::Options DefaultCrashFsOptions() {
 }
 
 CrashTestResult RunCrashTest(const CrashWorkload& workload, int max_points,
-                             const nova::NovaFs::Options& fs_options) {
-  // Pass 1: count the workload's persist barriers.
+                             const nova::NovaFs::Options& fs_options,
+                             const dma::FaultPlan* faults) {
+  // Pass 1: count the workload's persist barriers. Runs under the same
+  // fault plan as the replays: retries and error-record updates persist, so
+  // faults shift the barrier numbering.
   uint64_t total_barriers = 0;
   {
-    Env env(fs_options);
+    Env env(fs_options, faults);
     const uint64_t base = env.mem.barrier_count();
     env.sim.Spawn(0, [&] {
       for (const auto& op : workload.ops) {
@@ -317,7 +329,7 @@ CrashTestResult RunCrashTest(const CrashWorkload& workload, int max_points,
         total_barriers * static_cast<uint64_t>(p) /
         static_cast<uint64_t>(points);
 
-    Env env(fs_options);
+    Env env(fs_options, faults);
     env.mem.EnableCrashTracking();
     const uint64_t base = env.mem.barrier_count();
     env.mem.set_barrier_hook([&env, base, k](uint64_t count) {

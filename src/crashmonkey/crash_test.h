@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/dma/fault_plan.h"
 #include "src/fs/file_system.h"
 #include "src/nova/nova_fs.h"
 
@@ -86,9 +87,16 @@ nova::NovaFs::Options DefaultCrashFsOptions();
 
 // Runs up to `max_points` crash points (evenly sampled over all persist
 // barriers) for the workload on EasyIO.
+//
+// `faults` optionally injects DMA faults into every run: each Env gets a
+// fresh FaultInjector built from the same plan (the injector's consume-once
+// state must not leak between runs), so the barrier-count pass and every
+// replay see identical fault timing — retries and error-record updates add
+// persist barriers, which then become sampled crash points like any other.
 CrashTestResult RunCrashTest(const CrashWorkload& workload, int max_points,
                              const nova::NovaFs::Options& fs_options =
-                                 DefaultCrashFsOptions());
+                                 DefaultCrashFsOptions(),
+                             const dma::FaultPlan* faults = nullptr);
 
 }  // namespace easyio::crashmonkey
 

@@ -31,11 +31,25 @@
 #include <span>
 #include <vector>
 
+#include "src/dma/fault_plan.h"
 #include "src/dma/sn.h"
 #include "src/pmem/slow_memory.h"
 #include "src/sim/simulation.h"
 
 namespace easyio::dma {
+
+// How WaitSnRecover reacts to a halted channel: re-submit the failed
+// descriptor up to `max_attempts` times, sleeping backoff_ns before the
+// first retry and doubling it per attempt; once attempts are exhausted (or
+// immediately, with max_attempts = 0 — the quarantined-channel case) the
+// waiting task moves the data itself with a synchronous CPU copy.
+struct RetryPolicy {
+  int max_attempts = 3;
+  uint64_t backoff_ns = 2'000;
+  // Spin holding the core while waiting/backing off (synchronous consumers:
+  // NOVA-DMA/Fastmove) instead of parking the uthread (EasyIO).
+  bool busy = false;
+};
 
 struct Descriptor {
   enum class Dir { kWrite, kRead };  // write: DRAM -> pmem; read: pmem -> DRAM
@@ -73,17 +87,30 @@ class Channel {
   void SubmitBatch(std::span<Descriptor> descs, std::vector<Sn>* sns);
   std::vector<Sn> SubmitBatch(std::vector<Descriptor> descs);
 
-  // True once the channel's completion record covers `sn`.
+  // True once the channel's completion record covers `sn`. Hard-fails (in
+  // every build mode) on an SN belonging to a different channel: comparing a
+  // foreign SN against this channel's record would silently return a wrong
+  // durability answer. Route cross-channel SNs through DmaEngine::ChannelFor.
   bool IsComplete(Sn sn) const;
+  // Tri-state variant: kError while the channel is halted on a failed
+  // descriptor and `sn` is not yet covered.
+  SnState StateOf(Sn sn) const;
   uint64_t CompletedSeq() const { return record().CompletedSeq(); }
 
   // Parks the calling task until `sn` completes. Returns immediately if it
-  // already has.
-  void WaitSn(Sn sn);
+  // already has. Returns kError (instead of blocking forever) if the channel
+  // halts on a transfer error while the caller waits.
+  DmaResult WaitSn(Sn sn);
   // Busy-polling variant: the calling task keeps its core occupied while
   // waiting (how a synchronous filesystem like Fastmove/NOVA-DMA consumes
   // DMA completions).
-  void WaitSnBusy(Sn sn);
+  DmaResult WaitSnBusy(Sn sn);
+  // Recovery-driving wait: like WaitSn/WaitSnBusy, but when the channel
+  // halts on a failed descriptor the calling task re-submits it (bounded
+  // attempts, exponential backoff) and finally falls back to a synchronous
+  // CPU copy, so this call always returns kOk with `sn` durable. With no
+  // fault injector attached it behaves exactly like the plain waits.
+  DmaResult WaitSnRecover(Sn sn, const RetryPolicy& policy = {});
 
   // Outstanding descriptors (queued + in flight). Listing 2's admission
   // control reads this as `q_deps`.
@@ -103,6 +130,18 @@ class Channel {
   uint64_t bytes_completed() const { return bytes_completed_; }
   uint64_t descriptors_completed() const { return descriptors_completed_; }
 
+  // ---- Fault injection (see fault_plan.h). Null = infallible hardware. ----
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  // True while the channel sits halted on a failed head descriptor.
+  bool halted() const { return halted_; }
+  // Fault/recovery counters (all zero with no injector attached).
+  uint64_t transfer_errors() const { return transfer_errors_; }
+  uint64_t retries() const { return retries_; }
+  uint64_t software_completions() const { return software_completions_; }
+  uint64_t stalls_injected() const { return stalls_injected_; }
+  uint64_t torn_records() const { return torn_records_; }
+  uint64_t record_repairs() const { return record_repairs_; }
+
  private:
   struct Pending {
     Descriptor desc;
@@ -113,15 +152,30 @@ class Channel {
     sim::FlowResource::FlowId flow = 0;
     sim::SimTime transfer_start = 0;
     sim::SimTime enqueue_time = 0;  // for the trace's queued_ns attribution
+    // Fault-injection state, resolved once at enqueue time from the
+    // injector's plan by this descriptor's per-channel ordinal.
+    int planned_errors = 0;    // remaining injected failures for this desc
+    uint64_t stall_ns = 0;     // engine stall before this desc starts
+    bool torn = false;         // lose this desc's completion-record update
+    int attempts = 0;          // software retries issued so far
+    std::vector<std::byte> undo;  // pre-write snapshot for error rollback
   };
 
   const CompletionRecord& record() const {
     return *mem_->As<CompletionRecord>(record_off_);
   }
   void PersistRecord(uint64_t addr, uint64_t cnt);
+  // Persist a fresh completion value: clears torn-record shadow state and
+  // cancels any scheduled repair before writing.
+  void CommitRecord(uint64_t addr, uint64_t cnt);
+  void WakeCovered();        // wake waiters covered by the persistent record
   Sn Enqueue(Descriptor desc);
   void MaybeStart();         // engine side: begin head-of-queue descriptor
   void OnTransferDone();     // engine side: head descriptor finished
+  void FailHead();           // engine side: head raised a transfer error
+  void RetryHead();          // software side: re-submit the failed head
+  void CompleteHeadBySoftware();  // software side: CPU-copy fallback
+  void RepairRecord();       // driver scrub: rewrite a torn record
   void ChargeSubmit(size_t batch_size);
 
   pmem::SlowMemory* mem_;
@@ -138,6 +192,26 @@ class Channel {
   uint64_t bytes_completed_ = 0;
   uint64_t descriptors_completed_ = 0;
   std::multimap<uint64_t, sim::Task*> waiters_;  // seq -> parked task
+
+  // ---- Fault-injection state (inert with injector_ == nullptr) ----
+  FaultInjector* injector_ = nullptr;
+  uint64_t next_ordinal_ = 0;  // per-channel descriptor ordinal (plan key)
+  bool halted_ = false;        // head failed; awaiting software recovery
+  // Torn-record shadow: the true completion value the hardware reached while
+  // the persistent record stayed stale. Durability queries and waiter wakes
+  // use only the persistent record (the shadow must never be trusted for
+  // crash consistency); the next completion or the scheduled scrub
+  // re-persists it.
+  bool record_stale_ = false;
+  uint64_t shadow_addr_ = 0;
+  uint64_t shadow_cnt_ = 0;
+  sim::EventId repair_event_ = 0;
+  uint64_t transfer_errors_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t software_completions_ = 0;
+  uint64_t stalls_injected_ = 0;
+  uint64_t torn_records_ = 0;
+  uint64_t record_repairs_ = 0;
 };
 
 }  // namespace easyio::dma

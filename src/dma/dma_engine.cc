@@ -1,6 +1,8 @@
 #include "src/dma/dma_engine.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace easyio::dma {
@@ -15,6 +17,28 @@ DmaEngine::DmaEngine(pmem::SlowMemory* mem, uint64_t record_region_off,
         mem, static_cast<uint8_t>(i),
         record_region_off + static_cast<uint64_t>(i) *
                                 sizeof(CompletionRecord)));
+  }
+}
+
+Channel& DmaEngine::ChannelFor(Sn sn) {
+  if (sn.channel >= channels_.size()) {
+    std::fprintf(stderr,
+                 "dma: Sn{channel=%u, seq=%llu} names a channel outside this "
+                 "engine (%zu channels)\n",
+                 sn.channel, static_cast<unsigned long long>(sn.seq),
+                 channels_.size());
+    std::abort();
+  }
+  return *channels_[sn.channel];
+}
+
+const Channel& DmaEngine::ChannelFor(Sn sn) const {
+  return const_cast<DmaEngine*>(this)->ChannelFor(sn);
+}
+
+void DmaEngine::AttachFaultInjector(FaultInjector* injector) {
+  for (auto& ch : channels_) {
+    ch->set_fault_injector(injector);
   }
 }
 

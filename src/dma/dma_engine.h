@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/dma/channel.h"
+#include "src/dma/fault_plan.h"
 #include "src/dma/sn.h"
 #include "src/pmem/slow_memory.h"
 
@@ -36,6 +37,22 @@ class DmaEngine {
   int num_channels() const { return static_cast<int>(channels_.size()); }
   Channel& channel(int i) { return *channels_[i]; }
   const Channel& channel(int i) const { return *channels_[i]; }
+
+  // Checked SN-to-channel routing: the only safe way to resolve an SN whose
+  // channel index comes from data (a log entry, a remapped inode field)
+  // rather than from the submitting code path. Hard-fails on an index this
+  // engine never issued, in every build mode — comparing against another
+  // channel's record would silently return a wrong durability answer.
+  Channel& ChannelFor(Sn sn);
+  const Channel& ChannelFor(Sn sn) const;
+  bool IsComplete(Sn sn) const {
+    return sn.none() || ChannelFor(sn).IsComplete(sn);
+  }
+
+  // Arms fault injection on every channel. `injector` must outlive the
+  // engine; pass nullptr to detach. With no injector the engine models
+  // infallible hardware, bit-for-bit identical to a build without this call.
+  void AttachFaultInjector(FaultInjector* injector);
 
   // Completed sequence for a channel read directly from a raw device image —
   // what mount-time recovery uses before any engine object exists.

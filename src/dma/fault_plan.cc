@@ -1,0 +1,77 @@
+#include "src/dma/fault_plan.h"
+
+#include "src/common/rng.h"
+
+namespace easyio::dma {
+
+FaultPlan FaultPlan::Random(uint64_t seed, int num_channels, int n_errors,
+                            int n_stalls, int n_torn, uint64_t ordinal_range,
+                            uint64_t stall_ns) {
+  Rng rng(seed);
+  FaultPlan plan;
+  plan.errors.reserve(static_cast<size_t>(n_errors));
+  for (int i = 0; i < n_errors; ++i) {
+    plan.errors.push_back(
+        {static_cast<uint8_t>(rng.Below(static_cast<uint64_t>(num_channels))),
+         rng.Below(ordinal_range), 1});
+  }
+  plan.stalls.reserve(static_cast<size_t>(n_stalls));
+  for (int i = 0; i < n_stalls; ++i) {
+    plan.stalls.push_back(
+        {static_cast<uint8_t>(rng.Below(static_cast<uint64_t>(num_channels))),
+         rng.Below(ordinal_range), stall_ns});
+  }
+  plan.torn.reserve(static_cast<size_t>(n_torn));
+  for (int i = 0; i < n_torn; ++i) {
+    plan.torn.push_back(
+        {static_cast<uint8_t>(rng.Below(static_cast<uint64_t>(num_channels))),
+         rng.Below(ordinal_range)});
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  for (const auto& e : plan_.errors) {
+    errors_[{e.channel, e.ordinal}] += e.count;
+  }
+  for (const auto& s : plan_.stalls) {
+    stalls_[{s.channel, s.ordinal}] += s.stall_ns;
+  }
+  for (const auto& t : plan_.torn) {
+    torn_[{t.channel, t.ordinal}] = true;
+  }
+}
+
+int FaultInjector::TakeTransferError(uint8_t channel, uint64_t ordinal) {
+  const auto it = errors_.find({channel, ordinal});
+  if (it == errors_.end()) {
+    return 0;
+  }
+  const int count = it->second;
+  errors_.erase(it);
+  errors_armed_++;
+  return count;
+}
+
+uint64_t FaultInjector::TakeStall(uint8_t channel, uint64_t ordinal) {
+  const auto it = stalls_.find({channel, ordinal});
+  if (it == stalls_.end()) {
+    return 0;
+  }
+  const uint64_t ns = it->second;
+  stalls_.erase(it);
+  stalls_armed_++;
+  return ns;
+}
+
+bool FaultInjector::TakeTornRecord(uint8_t channel, uint64_t ordinal) {
+  const auto it = torn_.find({channel, ordinal});
+  if (it == torn_.end()) {
+    return false;
+  }
+  torn_.erase(it);
+  torn_armed_++;
+  return true;
+}
+
+}  // namespace easyio::dma

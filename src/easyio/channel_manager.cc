@@ -12,7 +12,8 @@ ChannelManager::ChannelManager(sim::Simulation* sim, dma::DmaEngine* engine,
     : sim_(sim),
       engine_(engine),
       options_(options),
-      b_limit_gbps_(options.b_limit_init_gbps) {
+      b_limit_gbps_(options.b_limit_init_gbps),
+      health_(static_cast<size_t>(engine->num_channels())) {
   assert(options.num_l_channels >= 1);
   assert(options.num_l_channels <= engine->num_channels());
   assert(options.b_channel >= 0 &&
@@ -22,14 +23,36 @@ ChannelManager::ChannelManager(sim::Simulation* sim, dma::DmaEngine* engine,
 }
 
 dma::Channel* ChannelManager::PickWriteChannel() {
-  dma::Channel* best = &engine_->channel(0);
-  for (int i = 1; i < options_.num_l_channels; ++i) {
+  dma::Channel* best = nullptr;
+  for (int i = 0; i < options_.num_l_channels; ++i) {
     dma::Channel& c = engine_->channel(i);
-    if (c.queue_depth() < best->queue_depth()) {
+    if (health_[c.id()].quarantined) {
+      continue;
+    }
+    if (best == nullptr || c.queue_depth() < best->queue_depth()) {
       best = &c;
     }
   }
-  return best;
+  return best;  // nullptr only when every L channel is quarantined
+}
+
+void ChannelManager::PickWriteChannels(int k, std::vector<dma::Channel*>* out) {
+  out->clear();
+  for (int i = 0; i < options_.num_l_channels; ++i) {
+    dma::Channel& c = engine_->channel(i);
+    if (!health_[c.id()].quarantined) {
+      out->push_back(&c);
+    }
+  }
+  // Least-loaded first (stable: ties keep channel-index order, so the pick
+  // is deterministic), truncated to k.
+  std::stable_sort(out->begin(), out->end(),
+                   [](const dma::Channel* a, const dma::Channel* b) {
+                     return a->queue_depth() < b->queue_depth();
+                   });
+  if (out->size() > static_cast<size_t>(k)) {
+    out->resize(static_cast<size_t>(k));
+  }
 }
 
 dma::Channel* ChannelManager::PickReadChannel() {
@@ -40,6 +63,9 @@ dma::Channel* ChannelManager::PickReadChannel() {
   const int start = static_cast<int>(read_rotor_++ % static_cast<uint64_t>(n));
   for (int k = 0; k < n; ++k) {
     dma::Channel& c = engine_->channel((start + k) % n);
+    if (health_[c.id()].quarantined) {
+      continue;
+    }
     if (c.queue_depth() < options_.read_admission_qdepth) {
       return &c;
     }
@@ -50,6 +76,17 @@ dma::Channel* ChannelManager::PickReadChannel() {
 dma::Sn ChannelManager::SubmitBulkWrite(uint64_t pmem_off, const void* src,
                                         size_t n) {
   assert(n > 0);
+  // Rebalance: a quarantined B channel sheds bulk traffic onto the
+  // least-loaded healthy L channel (the L-apps pay some interference, but
+  // the transfer makes progress). With everything quarantined the B channel
+  // is used regardless — WaitSnRecover's fallback still guarantees
+  // completion.
+  dma::Channel* target = b_channel();
+  if (health_[target->id()].quarantined) {
+    if (dma::Channel* l = PickWriteChannel(); l != nullptr) {
+      target = l;
+    }
+  }
   std::vector<dma::Descriptor> batch;
   const auto* p = static_cast<const std::byte*>(src);
   size_t done = 0;
@@ -63,14 +100,14 @@ dma::Sn ChannelManager::SubmitBulkWrite(uint64_t pmem_off, const void* src,
     batch.push_back(std::move(d));
     done += chunk;
   }
-  auto sns = b_channel()->SubmitBatch(std::move(batch));
+  auto sns = target->SubmitBatch(std::move(batch));
   return sns.back();
 }
 
 void ChannelManager::BulkWriteAndWait(uint64_t pmem_off, const void* src,
                                       size_t n) {
   const dma::Sn last = SubmitBulkWrite(pmem_off, src, n);
-  b_channel()->WaitSn(last);
+  engine_->ChannelFor(last).WaitSnRecover(last);
 }
 
 ChannelManager::LApp* ChannelManager::RegisterLApp(uint64_t target_ns) {
@@ -132,6 +169,120 @@ void ChannelManager::BudgetCheck() {
   sim_->ScheduleAfter(options_.check_interval_ns, [this, gen] {
     if (gen == throttle_generation_) {
       BudgetCheck();
+    }
+  });
+}
+
+void ChannelManager::ReportChannelFault(dma::Channel& ch) {
+  ChannelHealth& h = health_[ch.id()];
+  h.fault_score++;
+  OBS_EVENT(obs::Track(obs::kProcChanMgr, 0), "channel_fault",
+            {"chan", ch.id()}, {"score", static_cast<uint64_t>(h.fault_score)});
+  if (!h.quarantined && h.fault_score >= options_.quarantine_fault_threshold) {
+    Quarantine(ch);
+  }
+}
+
+void ChannelManager::Quarantine(dma::Channel& ch) {
+  ChannelHealth& h = health_[ch.id()];
+  if (h.quarantined) {
+    return;
+  }
+  h.quarantined = true;
+  h.quarantined_until = sim_->now() + options_.quarantine_ns;
+  h.stalled_since = 0;
+  quarantines_++;
+  OBS_EVENT(obs::Track(obs::kProcChanMgr, 0), "quarantine", {"chan", ch.id()},
+            {"qdepth", ch.queue_depth()});
+  // CHANCMD kick: suspend/resume resets the engine's fetch state — an
+  // in-flight descriptor below the restart threshold is aborted and re-run,
+  // which is what un-sticks a wedged channel. The throttler owns the B
+  // channel's suspend state while active, so don't fight it.
+  if (!(throttling_ && &ch == b_channel())) {
+    ch.Suspend();
+    ch.Resume();
+  }
+  // Probation: the channel returns to rotation after quarantine_ns with a
+  // clean slate. The event checks quarantined_until so overlapping
+  // quarantines (re-reported faults) keep the latest deadline.
+  const uint8_t id = ch.id();
+  sim_->ScheduleAfter(options_.quarantine_ns, [this, id] {
+    ChannelHealth& hh = health_[id];
+    if (hh.quarantined && sim_->now() >= hh.quarantined_until) {
+      hh.quarantined = false;
+      hh.fault_score = 0;
+      hh.stalled_since = 0;
+      OBS_EVENT(obs::Track(obs::kProcChanMgr, 0), "quarantine_end",
+                {"chan", id});
+    }
+  });
+}
+
+void ChannelManager::StartHealthMonitor() {
+  if (health_monitoring_) {
+    return;
+  }
+  health_monitoring_ = true;
+  health_generation_++;
+  for (int i = 0; i < engine_->num_channels(); ++i) {
+    health_[static_cast<size_t>(i)].last_descs =
+        engine_->channel(i).descriptors_completed();
+    health_[static_cast<size_t>(i)].stalled_since = 0;
+  }
+  OBS_EVENT(obs::Track(obs::kProcChanMgr, 0), "health_monitor_start");
+  const uint64_t gen = health_generation_;
+  sim_->ScheduleAfter(options_.health_interval_ns, [this, gen] {
+    if (gen == health_generation_) {
+      HealthTick();
+    }
+  });
+}
+
+void ChannelManager::StopHealthMonitor() {
+  if (!health_monitoring_) {
+    return;
+  }
+  health_monitoring_ = false;
+  health_generation_++;
+  OBS_EVENT(obs::Track(obs::kProcChanMgr, 0), "health_monitor_stop");
+}
+
+void ChannelManager::HealthTick() {
+  if (!health_monitoring_) {
+    return;
+  }
+  for (int i = 0; i < engine_->num_channels(); ++i) {
+    dma::Channel& ch = engine_->channel(i);
+    ChannelHealth& h = health_[static_cast<size_t>(i)];
+    const uint64_t descs = ch.descriptors_completed();
+    if (h.quarantined) {
+      h.last_descs = descs;
+      continue;
+    }
+    if (ch.halted()) {
+      // Halted on a transfer error: software recovery (the waiter's
+      // WaitSnRecover) will drain it, but no new work should land there.
+      Quarantine(ch);
+      h.last_descs = descs;
+      continue;
+    }
+    if (ch.queue_depth() > 0 && !ch.suspended() && descs == h.last_descs) {
+      if (h.stalled_since == 0) {
+        h.stalled_since = sim_->now();
+      } else if (sim_->now() - h.stalled_since >= options_.stall_threshold_ns) {
+        OBS_EVENT(obs::Track(obs::kProcChanMgr, 0), "stall_detected",
+                  {"chan", ch.id()}, {"qdepth", ch.queue_depth()});
+        Quarantine(ch);
+      }
+    } else {
+      h.stalled_since = 0;
+    }
+    h.last_descs = descs;
+  }
+  const uint64_t gen = health_generation_;
+  sim_->ScheduleAfter(options_.health_interval_ns, [this, gen] {
+    if (gen == health_generation_) {
+      HealthTick();
     }
   });
 }

@@ -54,6 +54,14 @@ class ChannelManager {
     double b_limit_max_gbps = 16.0;
     uint64_t bulk_split_bytes = 64_KB;
     size_t read_admission_qdepth = 2;   // Listing 2's q_deps bound
+
+    // ---- Fault handling (see "Quarantine" below) ----
+    uint64_t health_interval_ns = 20_us;  // monitor scan period
+    // A channel with queued work, not suspended, making no completion
+    // progress for this long is declared stalled.
+    uint64_t stall_threshold_ns = 60_us;
+    uint64_t quarantine_ns = 200_us;  // probation before a channel returns
+    int quarantine_fault_threshold = 2;  // consumer-reported faults
   };
 
   // Tracks one L-app's SLO. The app (or the FS on its behalf) reports each
@@ -91,7 +99,12 @@ class ChannelManager {
 
   // L-app channel selection: least-loaded of the L channels (writes always
   // get one; the paper steers to up to 4 to balance reads and writes).
+  // Quarantined channels are skipped; nullptr (fall back to memcpy) only
+  // when every L channel is quarantined.
   dma::Channel* PickWriteChannel();
+  // Striped variant: appends the `k` least-loaded healthy L channels to
+  // *out (fewer if quarantine leaves fewer; possibly none).
+  void PickWriteChannels(int k, std::vector<dma::Channel*>* out);
   // Listing 2's admission control: an L channel with q_deps < 2, or nullptr
   // (caller falls back to memcpy).
   dma::Channel* PickReadChannel();
@@ -113,9 +126,41 @@ class ChannelManager {
   bool throttling() const { return throttling_; }
   double b_limit_gbps() const { return b_limit_gbps_; }
 
+  // ---- Quarantine (graceful degradation under channel faults) ----
+  // A quarantined channel receives no new placements (picks skip it; bulk
+  // writes reroute to a healthy L channel) for quarantine_ns, then returns
+  // on probation with a cleared fault score. Outstanding work on it still
+  // completes through WaitSnRecover's retry/fallback path. Channels enter
+  // quarantine two ways: a consumer reports transfer errors
+  // (ReportChannelFault, quarantine_fault_threshold strikes) or the health
+  // monitor observes a halted or stalled channel.
+  bool quarantined(const dma::Channel& ch) const {
+    return health_[ch.id()].quarantined;
+  }
+  // One fault strike against `ch` (a consumer saw a transfer error on it).
+  void ReportChannelFault(dma::Channel& ch);
+  // Periodic scan for halted/stalled channels. Read-only over channel state
+  // except when it triggers a quarantine, so running it perturbs nothing on
+  // a healthy system. Stop it before tearing the simulation down, like
+  // StopThrottling.
+  void StartHealthMonitor();
+  void StopHealthMonitor();
+  bool health_monitoring() const { return health_monitoring_; }
+  uint64_t quarantines() const { return quarantines_; }
+
  private:
+  struct ChannelHealth {
+    bool quarantined = false;
+    int fault_score = 0;
+    sim::SimTime quarantined_until = 0;
+    uint64_t last_descs = 0;        // completion progress at last scan
+    sim::SimTime stalled_since = 0;  // 0 = progressing
+  };
+
   void EpochTick();
   void BudgetCheck();
+  void HealthTick();
+  void Quarantine(dma::Channel& ch);
 
   sim::Simulation* sim_;
   dma::DmaEngine* engine_;
@@ -126,6 +171,10 @@ class ChannelManager {
   uint64_t epoch_start_bytes_ = 0;
   uint64_t read_rotor_ = 0;
   uint64_t throttle_generation_ = 0;  // invalidates in-flight timer events
+  std::vector<ChannelHealth> health_;
+  bool health_monitoring_ = false;
+  uint64_t health_generation_ = 0;  // invalidates in-flight monitor events
+  uint64_t quarantines_ = 0;
 };
 
 }  // namespace easyio::core

@@ -1,6 +1,8 @@
 #include "src/easyio/easy_io_fs.h"
 
+#include <algorithm>
 #include <cassert>
+#include <vector>
 
 #include "src/obs/trace.h"
 
@@ -113,6 +115,31 @@ StatusOr<size_t> EasyIoFs::WriteMemcpy(Inode& in, uint64_t off,
   return n;
 }
 
+StatusOr<size_t> EasyIoFs::DegradedCpuWriteTail(Inode& in, uint64_t off,
+                                                std::span<const std::byte> buf,
+                                                fs::OpStats* stats,
+                                                sim::SimTime l1_start,
+                                                OpScratch& scratch) {
+  const size_t n = buf.size();
+  for (const ByteRange& c : scratch.ranges) {
+    Timed(stats, &fs::OpStats::data_ns, [&] {
+      memory()->CpuWrite(c.pmem_off, buf.data() + c.buf_off, c.bytes);
+    });
+  }
+  AddCpuBytes(n);
+  scratch.sns.assign(scratch.extents.size(), dma::Sn::None());
+  const Status st = CommitWrite(in, off, n, scratch.extents, scratch.sns,
+                                stats);
+  TracePhase(stats, "l1_hold", l1_start, sim()->now());
+  in.lock.WriteUnlock();
+  Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
+  writes_memcpy_++;
+  if (!st.ok()) {
+    return st;
+  }
+  return n;
+}
+
 // The paper's write path (§4.2): DMA submission and metadata commit proceed
 // in parallel; the lock drops at commit; the uthread parks until the
 // completion record covers the SN.
@@ -121,6 +148,18 @@ StatusOr<size_t> EasyIoFs::WriteOrderless(Inode& in, uint64_t off,
                                           fs::OpStats* stats,
                                           sim::SimTime l1_start) {
   const size_t n = buf.size();
+  // Striping only pays off for large block-aligned writes (each chunk is
+  // its own log entry, so unaligned edges would need read-modify-write per
+  // chunk); everything else stays on the single-channel path.
+  if (easy_.write_stripe_channels > 1 && off % nova::kBlockSize == 0 &&
+      n % nova::kBlockSize == 0 && n > easy_.stripe_chunk_bytes) {
+    std::vector<dma::Channel*> chans;
+    cm_->PickWriteChannels(easy_.write_stripe_channels, &chans);
+    if (chans.size() > 1) {
+      return WriteOrderlessStriped(in, off, buf, stats, l1_start,
+                                   std::move(chans));
+    }
+  }
   const uint64_t first_pg = off / nova::kBlockSize;
   const uint64_t pages = (off + n - 1) / nova::kBlockSize - first_pg + 1;
   Charge(stats, &fs::OpStats::index_ns,
@@ -136,6 +175,11 @@ StatusOr<size_t> EasyIoFs::WriteOrderless(Inode& in, uint64_t off,
 
   dma::Channel* ch = cm_->PickWriteChannel();
   ChunkifyInto(scratch->extents, off, n, &scratch->ranges);
+  if (ch == nullptr) {
+    // Every L channel quarantined: degrade to the synchronous CPU path,
+    // reusing the index/alloc/edge work already done above.
+    return DegradedCpuWriteTail(in, off, buf, stats, l1_start, *scratch);
+  }
   for (const ByteRange& c : scratch->ranges) {
     dma::Descriptor d;
     d.dir = dma::Descriptor::Dir::kWrite;
@@ -171,8 +215,122 @@ StatusOr<size_t> EasyIoFs::WriteOrderless(Inode& in, uint64_t off,
   // Back in the runtime: yield and resume when the I/O finishes (§4.1).
   Charge(stats, &fs::OpStats::data_ns, params().uthread_switch_ns);
   const sim::SimTime t0 = sim()->now();
-  ch->WaitSn(last_sn);
+  const uint64_t errs0 = ch->transfer_errors();
+  ch->WaitSnRecover(last_sn, RecoverPolicyFor(*ch));
+  NoteChannelFaults(*ch, errs0);
   TracePhase(stats, "sn_wait", t0, sim()->now(), {{"chan", ch->id()}});
+  if (stats != nullptr) {
+    const uint64_t waited = sim()->now() - t0;
+    stats->blocked_ns += waited;
+    stats->data_ns += waited;
+  }
+  return n;
+}
+
+// Striped variant of the orderless write: the chunks of one large write
+// round-robin over several L channels. Each chunk is one log entry AND one
+// descriptor, so every entry's SN names exactly the transfer that moves its
+// bytes — a chunk on a slow channel cannot hide behind a fast channel's
+// completion record. Durability therefore needs *every* channel's record to
+// cover its own last SN (per-channel SN monotonicity says nothing across
+// channels), both in the wait below and in the inode's level-2 state.
+StatusOr<size_t> EasyIoFs::WriteOrderlessStriped(
+    Inode& in, uint64_t off, std::span<const std::byte> buf,
+    fs::OpStats* stats, sim::SimTime l1_start,
+    std::vector<dma::Channel*>&& chans) {
+  const size_t n = buf.size();
+  assert(off % nova::kBlockSize == 0 && n % nova::kBlockSize == 0);
+  const uint64_t pages = n / nova::kBlockSize;
+  Charge(stats, &fs::OpStats::index_ns,
+         params().index_base_ns + params().index_per_page_ns * pages);
+  ScratchLease scratch(this);
+  const Status alloc_st = AllocBlocks(pages, stats, &scratch->extents);
+  if (!alloc_st.ok()) {
+    in.lock.WriteUnlock();
+    Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
+    return alloc_st;
+  }
+  FillWriteEdges(in, off, n, scratch->extents, stats);
+
+  // Split the allocated extents into stripe chunks (block-granular by the
+  // alignment precondition).
+  const uint64_t chunk_pages =
+      std::max<uint64_t>(1, easy_.stripe_chunk_bytes / nova::kBlockSize);
+  std::vector<nova::Extent> subs;
+  subs.reserve(pages / chunk_pages + scratch->extents.size());
+  for (const nova::Extent& e : scratch->extents) {
+    for (uint64_t p = 0; p < e.pages; p += chunk_pages) {
+      subs.push_back({e.block_off + p * nova::kBlockSize,
+                      std::min(chunk_pages, e.pages - p)});
+    }
+  }
+
+  // Chunks round-robin over the channels; one doorbell per channel. The
+  // scatter through per_idx keeps scratch->sns positionally 1:1 with subs,
+  // which CommitWrite requires.
+  std::vector<std::vector<dma::Descriptor>> per_chan(chans.size());
+  std::vector<std::vector<size_t>> per_idx(chans.size());
+  uint64_t cum = 0;
+  for (size_t i = 0; i < subs.size(); ++i) {
+    const size_t ci = i % chans.size();
+    dma::Descriptor d;
+    d.dir = dma::Descriptor::Dir::kWrite;
+    d.pmem_off = subs[i].block_off;
+    d.dram = const_cast<std::byte*>(buf.data() + cum);
+    d.size = static_cast<uint32_t>(subs[i].pages * nova::kBlockSize);
+    per_chan[ci].push_back(std::move(d));
+    per_idx[ci].push_back(i);
+    cum += subs[i].pages * nova::kBlockSize;
+  }
+  scratch->sns.assign(subs.size(), dma::Sn::None());
+  std::vector<dma::Sn> last(chans.size(), dma::Sn::None());
+  const sim::SimTime submit_t0 = sim()->now();
+  Timed(stats, &fs::OpStats::data_ns, [&] {
+    std::vector<dma::Sn> sns_c;
+    for (size_t c = 0; c < chans.size(); ++c) {
+      if (per_chan[c].empty()) {
+        continue;
+      }
+      sns_c.clear();
+      chans[c]->SubmitBatch(std::span<dma::Descriptor>(per_chan[c]), &sns_c);
+      for (size_t j = 0; j < sns_c.size(); ++j) {
+        scratch->sns[per_idx[c][j]] = sns_c[j];
+      }
+      last[c] = sns_c.back();
+    }
+  });
+  TracePhase(stats, "dma_submit", submit_t0, sim()->now(),
+             {{"descs", subs.size()}, {"stripes", chans.size()}});
+  AddDmaBytes(n);
+
+  const Status st = CommitWrite(in, off, n, subs, scratch->sns, stats);
+  in.pending_channel = chans[0];
+  in.pending_sn = last[0];
+  for (size_t c = 1; c < chans.size(); ++c) {
+    if (!last[c].none()) {
+      in.pending_stripes.push_back({chans[c], last[c]});
+    }
+  }
+  TracePhase(stats, "l1_hold", l1_start, sim()->now());
+  in.lock.WriteUnlock();
+  Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
+  writes_offloaded_++;
+  if (!st.ok()) {
+    return st;
+  }
+
+  Charge(stats, &fs::OpStats::data_ns, params().uthread_switch_ns);
+  const sim::SimTime t0 = sim()->now();
+  for (size_t c = 0; c < chans.size(); ++c) {
+    if (last[c].none()) {
+      continue;
+    }
+    const uint64_t errs0 = chans[c]->transfer_errors();
+    chans[c]->WaitSnRecover(last[c], RecoverPolicyFor(*chans[c]));
+    NoteChannelFaults(*chans[c], errs0);
+  }
+  TracePhase(stats, "sn_wait", t0, sim()->now(),
+             {{"stripes", chans.size()}});
   if (stats != nullptr) {
     const uint64_t waited = sim()->now() - t0;
     stats->blocked_ns += waited;
@@ -203,6 +361,11 @@ StatusOr<size_t> EasyIoFs::WriteNaive(Inode& in, uint64_t off,
 
   dma::Channel* ch = cm_->PickWriteChannel();
   ChunkifyInto(scratch->extents, off, n, &scratch->ranges);
+  if (ch == nullptr) {
+    // Every L channel quarantined: degrade to the synchronous CPU path,
+    // reusing the index/alloc/edge work already done above.
+    return DegradedCpuWriteTail(in, off, buf, stats, l1_start, *scratch);
+  }
   for (const ByteRange& c : scratch->ranges) {
     dma::Descriptor d;
     d.dir = dma::Descriptor::Dir::kWrite;
@@ -225,7 +388,9 @@ StatusOr<size_t> EasyIoFs::WriteNaive(Inode& in, uint64_t off,
   Charge(stats, &fs::OpStats::syscall_ns, params().syscall_exit_ns);
   Charge(stats, &fs::OpStats::data_ns, params().uthread_switch_ns);
   const sim::SimTime t0 = sim()->now();
-  ch->WaitSn(last_sn);
+  const uint64_t errs0 = ch->transfer_errors();
+  ch->WaitSnRecover(last_sn, RecoverPolicyFor(*ch));
+  NoteChannelFaults(*ch, errs0);
   TracePhase(stats, "sn_wait", t0, sim()->now(), {{"chan", ch->id()}});
   if (stats != nullptr) {
     const uint64_t waited = sim()->now() - t0;
@@ -344,7 +509,9 @@ StatusOr<size_t> EasyIoFs::ReadInternal(Inode& in, uint64_t off,
 
   Charge(stats, &fs::OpStats::data_ns, params().uthread_switch_ns);
   const sim::SimTime t0 = sim()->now();
-  ch->WaitSn(last_sn);
+  const uint64_t errs0 = ch->transfer_errors();
+  ch->WaitSnRecover(last_sn, RecoverPolicyFor(*ch));
+  NoteChannelFaults(*ch, errs0);
   TracePhase(stats, "sn_wait", t0, sim()->now(), {{"chan", ch->id()}});
   if (stats != nullptr) {
     const uint64_t waited = sim()->now() - t0;

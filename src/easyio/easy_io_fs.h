@@ -36,11 +36,29 @@ class EasyIoFs : public nova::NovaFs {
   struct EasyOptions {
     bool ordered_naive = false;
     uint64_t dma_min_bytes = 4096;  // <= this uses memcpy (Listing 2)
+
+    // Recovery policy for DMA waits (only exercised under fault injection):
+    // re-submit a failed descriptor up to dma_retry_attempts times with
+    // doubling backoff, then fall back to a synchronous CPU copy. A
+    // quarantined channel skips straight to the fallback.
+    int dma_retry_attempts = 3;
+    uint64_t dma_retry_backoff_ns = 2'000;
+
+    // Striping: >1 spreads a large block-aligned orderless write over that
+    // many L channels in stripe_chunk_bytes pieces. Durability then depends
+    // on *every* channel's completion record covering its own last SN —
+    // per-channel SN monotonicity says nothing across channels, so the wait
+    // and the inode's level-2 state track one SN per channel used.
+    int write_stripe_channels = 1;
+    uint64_t stripe_chunk_bytes = 16 * 1024;
   };
 
   EasyIoFs(pmem::SlowMemory* mem, const nova::NovaFs::Options& options,
            const EasyOptions& easy_options)
-      : NovaFs(mem, options), easy_(easy_options) {}
+      : NovaFs(mem, options), easy_(easy_options) {
+    recover_policy_ = {easy_options.dma_retry_attempts,
+                       easy_options.dma_retry_backoff_ns, /*busy=*/false};
+  }
 
   // The ChannelManager (and its DmaEngine) must be attached after Format()
   // or Mount(): engine construction starts a fresh completion-record era,
@@ -74,6 +92,14 @@ class EasyIoFs : public nova::NovaFs {
   StatusOr<size_t> WriteOrderless(Inode& in, uint64_t off,
                                   std::span<const std::byte> buf,
                                   fs::OpStats* stats, sim::SimTime l1_start);
+  // Striped orderless write (write_stripe_channels > 1, block-aligned):
+  // chunks round-robin over several L channels, one log entry + SN per
+  // chunk, and a per-channel last-SN wait.
+  StatusOr<size_t> WriteOrderlessStriped(Inode& in, uint64_t off,
+                                         std::span<const std::byte> buf,
+                                         fs::OpStats* stats,
+                                         sim::SimTime l1_start,
+                                         std::vector<dma::Channel*>&& chans);
   StatusOr<size_t> WriteNaive(Inode& in, uint64_t off,
                               std::span<const std::byte> buf,
                               fs::OpStats* stats, sim::SimTime l1_start);
@@ -81,12 +107,39 @@ class EasyIoFs : public nova::NovaFs {
   StatusOr<size_t> WriteMemcpy(Inode& in, uint64_t off,
                                std::span<const std::byte> buf,
                                fs::OpStats* stats, sim::SimTime l1_start);
+  // Finishes a write on the CPU when no channel is available (all L
+  // channels quarantined). Enters after index charge, block allocation,
+  // FillWriteEdges and ChunkifyInto — reuses that work instead of
+  // restarting the op through WriteMemcpy.
+  StatusOr<size_t> DegradedCpuWriteTail(Inode& in, uint64_t off,
+                                        std::span<const std::byte> buf,
+                                        fs::OpStats* stats,
+                                        sim::SimTime l1_start,
+                                        OpScratch& scratch);
   // Maps the user buffer onto the allocated extents: one range per
   // contiguous extent (never a hole), honoring the unaligned head offset.
   // Appends to *out (not cleared).
   static void ChunkifyInto(const std::vector<nova::Extent>& extents,
                            uint64_t off, size_t n,
                            std::vector<ByteRange>* out);
+
+  // Per-wait retry policy: a quarantined channel gets zero retry attempts
+  // (straight to the CPU-copy fallback — no point re-feeding a channel the
+  // manager already pulled from rotation).
+  dma::RetryPolicy RecoverPolicyFor(const dma::Channel& ch) const {
+    dma::RetryPolicy p = recover_policy_;
+    if (cm_ != nullptr && cm_->quarantined(ch)) {
+      p.max_attempts = 0;
+    }
+    return p;
+  }
+  // Report transfer errors observed across a wait to the channel manager's
+  // quarantine scorekeeping.
+  void NoteChannelFaults(dma::Channel& ch, uint64_t errors_before) {
+    if (ch.transfer_errors() != errors_before && cm_ != nullptr) {
+      cm_->ReportChannelFault(ch);
+    }
+  }
 
   EasyOptions easy_;
   ChannelManager* cm_ = nullptr;

@@ -25,6 +25,7 @@ RunResult Run(const RunConfig& config) {
   tb_cfg.media = config.media;
   tb_cfg.cm_options = config.cm_options;
   tb_cfg.easy_options = config.easy_options;
+  tb_cfg.faults = config.faults;
   harness::Testbed tb(tb_cfg);
   sim::Simulation& sim = tb.sim();
 

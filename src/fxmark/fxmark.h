@@ -55,6 +55,8 @@ struct RunConfig {
   pmem::MediaParams media = pmem::MediaParams::TwoNode();
   core::ChannelManager::Options cm_options;
   core::EasyIoFs::EasyOptions easy_options;
+  // DMA fault plan forwarded to the testbed; empty = injection off.
+  dma::FaultPlan faults;
 };
 
 struct RunResult {

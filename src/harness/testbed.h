@@ -17,6 +17,7 @@
 #include "src/baselines/odin_fs.h"
 #include "src/common/units.h"
 #include "src/dma/dma_engine.h"
+#include "src/dma/fault_plan.h"
 #include "src/easyio/channel_manager.h"
 #include "src/easyio/easy_io_fs.h"
 #include "src/nova/nova_fs.h"
@@ -51,6 +52,9 @@ struct TestbedConfig {
   // OdinFS reservation: 12 delegation threads per node in the paper.
   int odin_reserved_cores = 24;
   baselines::DelegationPool::Options odin_options;
+  // DMA fault plan (fs kinds with an engine only). Empty = infallible
+  // hardware, byte-identical behavior to a build without fault injection.
+  dma::FaultPlan faults;
 };
 
 class Testbed {
@@ -135,6 +139,7 @@ class Testbed {
   nova::NovaFs& nova() { return *nova_view_; }
   core::EasyIoFs* easy() { return easy_view_; }  // null unless kEasy*
   dma::DmaEngine* engine() { return engine_.get(); }
+  dma::FaultInjector* fault_injector() { return injector_.get(); }
   core::ChannelManager* channel_manager() { return cm_.get(); }
   baselines::DelegationPool* delegation() { return pool_.get(); }
   uthread::Scheduler* scheduler() { return scheduler_.get(); }
@@ -173,6 +178,12 @@ class Testbed {
         xs.descriptors_completed = ch.descriptors_completed();
         xs.queue_depth = ch.queue_depth();
         xs.suspended = ch.suspended();
+        xs.transfer_errors = ch.transfer_errors();
+        xs.retries = ch.retries();
+        xs.software_completions = ch.software_completions();
+        xs.stalls_injected = ch.stalls_injected();
+        xs.torn_records = ch.torn_records();
+        xs.record_repairs = ch.record_repairs();
         s.channels.push_back(xs);
       }
     }
@@ -197,11 +208,16 @@ class Testbed {
     engine_ = std::make_unique<dma::DmaEngine>(
         &mem_, comp_region_off,
         static_cast<int>(config_.fs_options.comp_channels));
+    if (!config_.faults.empty()) {
+      injector_ = std::make_unique<dma::FaultInjector>(config_.faults);
+      engine_->AttachFaultInjector(injector_.get());
+    }
   }
 
   TestbedConfig config_;
   sim::Simulation sim_;
   pmem::SlowMemory mem_;
+  std::unique_ptr<dma::FaultInjector> injector_;
   std::unique_ptr<dma::DmaEngine> engine_;
   std::unique_ptr<core::ChannelManager> cm_;
   std::unique_ptr<baselines::DelegationPool> pool_;

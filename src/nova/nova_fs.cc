@@ -80,6 +80,15 @@ Status NovaFs::Format() {
 // ----------------------------------------------------------------- mount ----
 
 uint64_t NovaFs::CompletedSeqOf(uint8_t channel) const {
+  // The channel index comes from on-media log entries, so it must be
+  // validated against the layout before indexing the record region: a
+  // corrupted or stale entry naming a channel we never had would otherwise
+  // read whatever bytes follow the region as a "completion record". Zero
+  // (nothing ever completed) makes recovery discard the entry — the safe
+  // direction.
+  if (channel >= layout_.comp_channels) {
+    return 0;
+  }
   return mem_
       ->As<dma::CompletionRecord>(layout_.comp_region_off +
                                   channel * sizeof(dma::CompletionRecord))
@@ -442,18 +451,36 @@ Status NovaFs::CommitWrite(Inode& in, uint64_t off, size_t n,
 }
 
 uint64_t NovaFs::WaitPendingWrite(Inode& in) {
-  if (in.pending_channel == nullptr) {
+  if (in.pending_channel == nullptr && in.pending_stripes.empty()) {
     return 0;
   }
-  if (in.pending_channel->IsComplete(in.pending_sn)) {
+  if (in.pending_stripes.empty() && in.pending_channel != nullptr &&
+      in.pending_channel->IsComplete(in.pending_sn)) {
     in.pending_channel = nullptr;
     in.pending_sn = dma::Sn::None();
     return 0;
   }
   const sim::SimTime t0 = sim_->now();
-  in.pending_channel->WaitSn(in.pending_sn);
-  in.pending_channel = nullptr;
-  in.pending_sn = dma::Sn::None();
+  if (in.pending_channel != nullptr) {
+    // Wait before clearing: a concurrent level-2 waiter that finds the
+    // fields set must also wait, so the fields stay published until the SN
+    // is actually covered.
+    dma::Channel* ch = in.pending_channel;
+    const dma::Sn sn = in.pending_sn;
+    ch->WaitSnRecover(sn, recover_policy_);
+    in.pending_channel = nullptr;
+    in.pending_sn = dma::Sn::None();
+  }
+  while (!in.pending_stripes.empty()) {
+    // Same publish-until-covered discipline; the wait can yield, so another
+    // waiter may drain entries concurrently — only remove the entry we
+    // waited on if it is still there.
+    const auto entry = in.pending_stripes.back();
+    entry.first->WaitSnRecover(entry.second, recover_policy_);
+    if (!in.pending_stripes.empty() && in.pending_stripes.back() == entry) {
+      in.pending_stripes.pop_back();
+    }
+  }
   return sim_->now() - t0;
 }
 

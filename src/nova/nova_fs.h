@@ -131,8 +131,14 @@ class NovaFs : public fs::FileSystem {
 
     // EasyIO state: the (single) outstanding orderless write (§4.3 ensures
     // at most one per file) and in-flight-read accounting for deferred free.
+    // A striped write spreads its descriptors over several channels;
+    // pending_channel/pending_sn hold the primary channel's last SN and
+    // pending_stripes the other channels' last SNs — durability requires
+    // every channel's record to cover its own SN (per-channel monotonicity
+    // says nothing across channels).
     dma::Channel* pending_channel = nullptr;
     dma::Sn pending_sn = dma::Sn::None();
+    std::vector<std::pair<dma::Channel*, dma::Sn>> pending_stripes;
     int pending_reads = 0;
     std::vector<Extent> deferred_free;
 
@@ -202,7 +208,15 @@ class NovaFs : public fs::FileSystem {
 
   // Level-2 wait (§4.3): blocks until the inode's outstanding orderless
   // write completes. Returns the blocked time (0 when none pending).
+  // Recovery-aware: a channel halted on a transfer error is driven through
+  // retry/fallback per recover_policy_, so the wait always ends with the
+  // data durable.
   uint64_t WaitPendingWrite(Inode& in);
+
+  // Retry/fallback policy for every SN wait issued on behalf of this
+  // filesystem (level-2 waits and subclass write paths). Subclasses may
+  // override the defaults at construction.
+  dma::RetryPolicy recover_policy_{};
 
   // NOVA-style log garbage collection (NOVA §3.6): when an inode's log has
   // grown well past what its live entries need, rewrite the live state into

@@ -33,6 +33,18 @@ void StatsSnapshot::Print(std::FILE* out) const {
                  " chan[%d].qdepth=%" PRIu64 " chan[%d].suspended=%d\n",
                  ch.id, ch.bytes_completed, ch.id, ch.descriptors_completed,
                  ch.id, ch.queue_depth, ch.id, ch.suspended ? 1 : 0);
+    if (ch.transfer_errors != 0 || ch.retries != 0 ||
+        ch.software_completions != 0 || ch.stalls_injected != 0 ||
+        ch.torn_records != 0 || ch.record_repairs != 0) {
+      std::fprintf(out,
+                   "chan[%d].xfer_errors=%" PRIu64 " chan[%d].retries=%" PRIu64
+                   " chan[%d].sw_completions=%" PRIu64
+                   " chan[%d].stalls=%" PRIu64 " chan[%d].torn=%" PRIu64
+                   " chan[%d].record_repairs=%" PRIu64 "\n",
+                   ch.id, ch.transfer_errors, ch.id, ch.retries, ch.id,
+                   ch.software_completions, ch.id, ch.stalls_injected, ch.id,
+                   ch.torn_records, ch.id, ch.record_repairs);
+    }
   }
   for (const FsStats& f : fs) {
     std::fprintf(out,

@@ -35,6 +35,15 @@ struct ChannelStats {
   uint64_t descriptors_completed = 0;
   uint64_t queue_depth = 0;   // descriptors pending right now
   bool suspended = false;
+  // Fault-injection/recovery counters (all zero without an injector; the
+  // Print() line for them is emitted only when one is nonzero, so output
+  // is unchanged when injection is off).
+  uint64_t transfer_errors = 0;
+  uint64_t retries = 0;
+  uint64_t software_completions = 0;
+  uint64_t stalls_injected = 0;
+  uint64_t torn_records = 0;
+  uint64_t record_repairs = 0;
 };
 
 struct FsStats {

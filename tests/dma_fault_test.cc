@@ -1,0 +1,666 @@
+// DMA fault injection and graceful degradation: the FaultPlan/FaultInjector
+// determinism contract, the channel's error/stall/torn-record machinery and
+// its recovery waits, the SN hardening (Pack saturation, cross-channel
+// hard-fail), the channel manager's quarantine, and the filesystem-level
+// recovery paths (retry, CPU fallback, striped multi-channel waits).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/dma/dma_engine.h"
+#include "src/dma/fault_plan.h"
+#include "src/harness/testbed.h"
+#include "src/pmem/slow_memory.h"
+#include "src/sim/simulation.h"
+
+namespace easyio::dma {
+namespace {
+
+using core::ChannelManager;
+using harness::FsKind;
+using harness::Testbed;
+using harness::TestbedConfig;
+using pmem::MediaParams;
+using pmem::SlowMemory;
+using sim::Simulation;
+
+constexpr uint64_t kRecordOff = 0;
+constexpr uint64_t kDataOff = 4_KB;
+
+std::vector<std::byte> Pattern(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::byte> buf(n);
+  for (auto& b : buf) {
+    b = static_cast<std::byte>(rng.Next());
+  }
+  return buf;
+}
+
+struct Fixture {
+  Simulation sim{{.num_cores = 2}};
+  SlowMemory mem;
+  FaultInjector injector;
+  DmaEngine engine;
+
+  explicit Fixture(FaultPlan plan, int channels = 4,
+                   MediaParams params = MediaParams::OneNode())
+      : mem(&sim, params, 64_MB),
+        injector(std::move(plan)),
+        engine(&mem, kRecordOff, channels) {
+    engine.AttachFaultInjector(&injector);
+  }
+
+  Descriptor Write(uint64_t pmem_off, const void* src, uint32_t size) {
+    Descriptor d;
+    d.dir = Descriptor::Dir::kWrite;
+    d.pmem_off = pmem_off;
+    d.dram = const_cast<void*>(src);
+    d.size = size;
+    return d;
+  }
+};
+
+// ---------------------------------------------------------------- injector
+
+TEST(FaultInjectorTest, EachScheduledFaultFiresOnce) {
+  FaultPlan plan;
+  plan.errors.push_back({/*channel=*/2, /*ordinal=*/5, /*count=*/3});
+  plan.stalls.push_back({2, 6, 1000});
+  plan.torn.push_back({2, 7});
+  FaultInjector inj(plan);
+
+  EXPECT_EQ(inj.TakeTransferError(2, 4), 0);
+  EXPECT_EQ(inj.TakeTransferError(2, 5), 3);
+  EXPECT_EQ(inj.TakeTransferError(2, 5), 0);  // consumed
+  EXPECT_EQ(inj.TakeStall(2, 6), 1000u);
+  EXPECT_EQ(inj.TakeStall(2, 6), 0u);
+  EXPECT_TRUE(inj.TakeTornRecord(2, 7));
+  EXPECT_FALSE(inj.TakeTornRecord(2, 7));
+  EXPECT_EQ(inj.errors_armed(), 1u);
+  EXPECT_EQ(inj.stalls_armed(), 1u);
+  EXPECT_EQ(inj.torn_armed(), 1u);
+}
+
+TEST(FaultPlanTest, RandomIsDeterministicInSeed) {
+  const FaultPlan a = FaultPlan::Random(99, 8, 4, 3, 2, 64);
+  const FaultPlan b = FaultPlan::Random(99, 8, 4, 3, 2, 64);
+  ASSERT_EQ(a.errors.size(), b.errors.size());
+  for (size_t i = 0; i < a.errors.size(); ++i) {
+    EXPECT_EQ(a.errors[i].channel, b.errors[i].channel);
+    EXPECT_EQ(a.errors[i].ordinal, b.errors[i].ordinal);
+  }
+  ASSERT_EQ(a.stalls.size(), b.stalls.size());
+  for (size_t i = 0; i < a.stalls.size(); ++i) {
+    EXPECT_EQ(a.stalls[i].channel, b.stalls[i].channel);
+    EXPECT_EQ(a.stalls[i].ordinal, b.stalls[i].ordinal);
+  }
+  ASSERT_EQ(a.torn.size(), b.torn.size());
+  for (size_t i = 0; i < a.torn.size(); ++i) {
+    EXPECT_EQ(a.torn[i].channel, b.torn[i].channel);
+    EXPECT_EQ(a.torn[i].ordinal, b.torn[i].ordinal);
+  }
+  // A different seed lands somewhere else (overwhelmingly likely with 9
+  // faults over an 8x64 grid).
+  const FaultPlan c = FaultPlan::Random(100, 8, 4, 3, 2, 64);
+  bool same = a.errors.size() == c.errors.size();
+  for (size_t i = 0; same && i < a.errors.size(); ++i) {
+    same = a.errors[i].channel == c.errors[i].channel &&
+           a.errors[i].ordinal == c.errors[i].ordinal;
+  }
+  EXPECT_FALSE(same);
+}
+
+// --------------------------------------------------------- transfer errors
+
+TEST(TransferErrorTest, RetrySucceedsAndDataLands) {
+  FaultPlan plan;
+  plan.errors.push_back({0, 0, 1});  // first execution fails, retry succeeds
+  Fixture f(std::move(plan));
+  const auto src = Pattern(16_KB, 1);
+  f.sim.Spawn(0, [&] {
+    Channel& ch = f.engine.channel(0);
+    const Sn sn = ch.Submit(f.Write(kDataOff, src.data(), 16_KB));
+    EXPECT_EQ(ch.WaitSnRecover(sn), DmaResult::kOk);
+    EXPECT_TRUE(ch.IsComplete(sn));
+  });
+  f.sim.Run();
+  const Channel& ch = f.engine.channel(0);
+  EXPECT_EQ(ch.transfer_errors(), 1u);
+  EXPECT_EQ(ch.retries(), 1u);
+  EXPECT_EQ(ch.software_completions(), 0u);
+  EXPECT_FALSE(ch.halted());
+  EXPECT_EQ(std::memcmp(f.mem.raw() + kDataOff, src.data(), 16_KB), 0);
+}
+
+TEST(TransferErrorTest, ExhaustedRetriesFallBackToCpuCopy) {
+  FaultPlan plan;
+  plan.errors.push_back({0, 0, 100});  // never succeeds in hardware
+  Fixture f(std::move(plan));
+  const auto src = Pattern(16_KB, 2);
+  f.sim.Spawn(0, [&] {
+    Channel& ch = f.engine.channel(0);
+    const Sn sn = ch.Submit(f.Write(kDataOff, src.data(), 16_KB));
+    EXPECT_EQ(ch.WaitSnRecover(sn), DmaResult::kOk);  // always recovers
+    EXPECT_TRUE(ch.IsComplete(sn));
+  });
+  f.sim.Run();
+  const Channel& ch = f.engine.channel(0);
+  // Initial execution + 3 retries all failed, then software moved the bytes.
+  EXPECT_EQ(ch.transfer_errors(), 4u);
+  EXPECT_EQ(ch.retries(), 3u);
+  EXPECT_EQ(ch.software_completions(), 1u);
+  EXPECT_FALSE(ch.halted());
+  EXPECT_EQ(std::memcmp(f.mem.raw() + kDataOff, src.data(), 16_KB), 0);
+}
+
+TEST(TransferErrorTest, PlainWaitReportsErrorAndRollsBackDestination) {
+  FaultPlan plan;
+  plan.errors.push_back({0, 0, 1});
+  Fixture f(std::move(plan));
+  std::memset(f.mem.raw() + kDataOff, 0xAA, 16_KB);
+  const auto src = Pattern(16_KB, 3);
+  f.sim.Spawn(0, [&] {
+    Channel& ch = f.engine.channel(0);
+    const Sn sn = ch.Submit(f.Write(kDataOff, src.data(), 16_KB));
+    EXPECT_EQ(ch.WaitSn(sn), DmaResult::kError);
+    EXPECT_TRUE(ch.halted());
+    EXPECT_EQ(ch.StateOf(sn), SnState::kError);
+    // The persistent record carries the error status while halted.
+    EXPECT_TRUE(f.mem.As<CompletionRecord>(kRecordOff)->error());
+    // An aborted transfer leaves nothing of itself behind.
+    for (size_t i = 0; i < 16_KB; ++i) {
+      ASSERT_EQ(f.mem.raw()[kDataOff + i], std::byte{0xAA}) << "at byte " << i;
+    }
+    // Recovery clears the halt and the error status.
+    EXPECT_EQ(ch.WaitSnRecover(sn), DmaResult::kOk);
+    EXPECT_FALSE(f.mem.As<CompletionRecord>(kRecordOff)->error());
+  });
+  f.sim.Run();
+  EXPECT_EQ(std::memcmp(f.mem.raw() + kDataOff, src.data(), 16_KB), 0);
+}
+
+TEST(TransferErrorTest, QuarantinedPolicySkipsStraightToFallback) {
+  FaultPlan plan;
+  plan.errors.push_back({0, 0, 100});
+  Fixture f(std::move(plan));
+  const auto src = Pattern(8_KB, 4);
+  f.sim.Spawn(0, [&] {
+    Channel& ch = f.engine.channel(0);
+    const Sn sn = ch.Submit(f.Write(kDataOff, src.data(), 8_KB));
+    RetryPolicy p;
+    p.max_attempts = 0;
+    EXPECT_EQ(ch.WaitSnRecover(sn, p), DmaResult::kOk);
+  });
+  f.sim.Run();
+  const Channel& ch = f.engine.channel(0);
+  EXPECT_EQ(ch.retries(), 0u);
+  EXPECT_EQ(ch.software_completions(), 1u);
+  EXPECT_EQ(std::memcmp(f.mem.raw() + kDataOff, src.data(), 8_KB), 0);
+}
+
+// ------------------------------------------------------------------ stalls
+
+TEST(StallTest, StallDelaysCompletionByItsDuration) {
+  const auto src = Pattern(16_KB, 5);
+  sim::SimTime done_plain = 0;
+  sim::SimTime done_stalled = 0;
+  {
+    Fixture f(FaultPlan{});
+    f.sim.Spawn(0, [&] {
+      Channel& ch = f.engine.channel(0);
+      const Sn sn = ch.Submit(f.Write(kDataOff, src.data(), 16_KB));
+      ch.WaitSnRecover(sn);
+      done_plain = f.sim.now();
+    });
+    f.sim.Run();
+  }
+  {
+    FaultPlan plan;
+    plan.stalls.push_back({0, 0, 500'000});
+    Fixture f(std::move(plan));
+    f.sim.Spawn(0, [&] {
+      Channel& ch = f.engine.channel(0);
+      const Sn sn = ch.Submit(f.Write(kDataOff, src.data(), 16_KB));
+      ch.WaitSnRecover(sn);
+      done_stalled = f.sim.now();
+    });
+    f.sim.Run();
+    EXPECT_EQ(f.engine.channel(0).stalls_injected(), 1u);
+  }
+  EXPECT_EQ(done_stalled, done_plain + 500'000);
+}
+
+// ------------------------------------------------------------ torn records
+
+TEST(TornRecordTest, WaiterWakesOnlyAfterScrubRepairsTheRecord) {
+  const auto src = Pattern(16_KB, 6);
+  sim::SimTime done_plain = 0;
+  {
+    Fixture f(FaultPlan{});
+    f.sim.Spawn(0, [&] {
+      Channel& ch = f.engine.channel(0);
+      const Sn sn = ch.Submit(f.Write(kDataOff, src.data(), 16_KB));
+      ch.WaitSn(sn);
+      done_plain = f.sim.now();
+    });
+    f.sim.Run();
+  }
+  FaultPlan plan;
+  plan.torn.push_back({0, 0});
+  plan.torn_repair_ns = 80'000;
+  Fixture f(std::move(plan));
+  sim::SimTime done_torn = 0;
+  f.sim.Spawn(0, [&] {
+    Channel& ch = f.engine.channel(0);
+    const Sn sn = ch.Submit(f.Write(kDataOff, src.data(), 16_KB));
+    // The persistent record stays stale until the scrub, and the waiter
+    // must not wake from the in-DRAM shadow — durability only.
+    EXPECT_EQ(ch.WaitSn(sn), DmaResult::kOk);
+    EXPECT_TRUE(ch.IsComplete(sn));
+    done_torn = f.sim.now();
+  });
+  f.sim.Run();
+  const Channel& ch = f.engine.channel(0);
+  EXPECT_EQ(ch.torn_records(), 1u);
+  EXPECT_EQ(ch.record_repairs(), 1u);
+  EXPECT_GE(done_torn, done_plain + 80'000 - 1);
+  EXPECT_EQ(std::memcmp(f.mem.raw() + kDataOff, src.data(), 16_KB), 0);
+}
+
+TEST(TornRecordTest, NextCompletionHealsWithoutScrub) {
+  FaultPlan plan;
+  plan.torn.push_back({0, 0});
+  plan.torn_repair_ns = 10'000'000;  // scrub far in the future
+  Fixture f(std::move(plan));
+  const auto src = Pattern(8_KB, 7);
+  f.sim.Spawn(0, [&] {
+    Channel& ch = f.engine.channel(0);
+    const Sn s1 = ch.Submit(f.Write(kDataOff, src.data(), 8_KB));
+    const Sn s2 = ch.Submit(f.Write(kDataOff + 8_KB, src.data(), 8_KB));
+    // The second completion re-persists the watermark, covering both.
+    EXPECT_EQ(ch.WaitSn(s2), DmaResult::kOk);
+    EXPECT_TRUE(ch.IsComplete(s1));
+  });
+  f.sim.Run();
+  EXPECT_EQ(f.engine.channel(0).torn_records(), 1u);
+  // The scrub found nothing to do (it may not even have fired yet).
+  EXPECT_EQ(f.engine.channel(0).record_repairs(), 0u);
+}
+
+// ----------------------------------------------------------- determinism
+
+TEST(FaultDeterminismTest, SameSeedSameTrace) {
+  auto run = [](std::vector<sim::SimTime>* completions) {
+    FaultPlan plan = FaultPlan::Random(/*seed=*/1234, /*num_channels=*/2,
+                                       /*n_errors=*/2, /*n_stalls=*/2,
+                                       /*n_torn=*/2, /*ordinal_range=*/6,
+                                       /*stall_ns=*/30'000);
+    Fixture f(std::move(plan), /*channels=*/2);
+    const auto src = Pattern(8_KB, 8);
+    f.sim.Spawn(0, [&] {
+      for (int i = 0; i < 6; ++i) {
+        Channel& ch = f.engine.channel(i % 2);
+        const Sn sn = ch.Submit(
+            f.Write(kDataOff + static_cast<uint64_t>(i) * 8_KB, src.data(),
+                    8_KB));
+        ch.WaitSnRecover(sn);
+        completions->push_back(f.sim.now());
+      }
+    });
+    f.sim.Run();
+  };
+  std::vector<sim::SimTime> first;
+  std::vector<sim::SimTime> second;
+  run(&first);
+  run(&second);
+  ASSERT_EQ(first.size(), 6u);
+  EXPECT_EQ(first, second);
+}
+
+// ----------------------------------------------------- SN hardening (sn.h)
+
+TEST(SnHardeningTest, NearMaxSeqRoundTripsThroughPack) {
+  const uint64_t max_cnt = (Sn::kMaxSeq - kRingSlots) / (kRingSlots + 1);
+  const Sn sn = Sn::Make(3, max_cnt, kRingSlots);
+  ASSERT_LE(sn.seq, Sn::kMaxSeq);
+  const Sn back = Sn::Unpack(sn.Pack());
+  EXPECT_EQ(back.channel, 3);
+  EXPECT_EQ(back.seq, sn.seq);
+  // A completion record at the same watermark still covers it.
+  const CompletionRecord rec{kRingSlots, max_cnt};
+  EXPECT_GE(rec.CompletedSeq(), back.seq);
+}
+
+TEST(SnHardeningDeathTest, OverflowingSeqFailsLoudlyNotSilently) {
+  // Beyond 56 bits the packed form cannot represent the seq. Debug builds
+  // assert; release builds saturate to kMaxSeq, which no genuine record can
+  // cover — the entry reads as not-durable (safe discard), never as an
+  // older, wrongly-durable SN.
+  Sn sn;
+  sn.channel = 1;
+  sn.seq = Sn::kMaxSeq + 12345;
+  EXPECT_DEBUG_DEATH(
+      {
+        const uint64_t packed = sn.Pack();
+        EXPECT_EQ(Sn::Unpack(packed).seq, Sn::kMaxSeq);
+        EXPECT_EQ(Sn::Unpack(packed).channel, 1);
+      },
+      "seq <= kMaxSeq");
+}
+
+TEST(SnHardeningTest, ErrorBitDoesNotPerturbWatermark) {
+  CompletionRecord rec{17, 5};
+  const uint64_t clean = rec.CompletedSeq();
+  rec.addr |= CompletionRecord::kErrorBit;
+  EXPECT_TRUE(rec.error());
+  EXPECT_EQ(rec.CompletedSeq(), clean);
+}
+
+// ------------------------------------- cross-channel lookups (hard-fail)
+
+using ChannelDeathTest = ::testing::Test;
+
+TEST(ChannelDeathTest, CrossChannelIsCompleteAborts) {
+  Simulation sim{{.num_cores = 2}};
+  SlowMemory mem(&sim, MediaParams::OneNode(), 64_MB);
+  DmaEngine engine(&mem, kRecordOff, 4);
+  const Sn foreign = Sn::Make(0, 1, 1);
+  EXPECT_DEATH(static_cast<void>(engine.channel(1).IsComplete(foreign)),
+               "checked against channel");
+}
+
+TEST(ChannelDeathTest, EngineRejectsOutOfRangeChannel) {
+  Simulation sim{{.num_cores = 2}};
+  SlowMemory mem(&sim, MediaParams::OneNode(), 64_MB);
+  DmaEngine engine(&mem, kRecordOff, 4);
+  const Sn bogus = Sn::Make(9, 1, 1);  // only channels 0..3 exist
+  EXPECT_DEATH(static_cast<void>(engine.IsComplete(bogus)),
+               "outside this engine");
+}
+
+TEST(ChannelTest, EngineRoutesCrossChannelLookupCorrectly) {
+  Simulation sim{{.num_cores = 2}};
+  SlowMemory mem(&sim, MediaParams::OneNode(), 64_MB);
+  DmaEngine engine(&mem, kRecordOff, 4);
+  const auto src = Pattern(8_KB, 9);
+  sim.Spawn(0, [&] {
+    Descriptor d;
+    d.dir = Descriptor::Dir::kWrite;
+    d.pmem_off = kDataOff;
+    d.dram = const_cast<std::byte*>(src.data());
+    d.size = 8_KB;
+    const Sn sn = engine.channel(2).Submit(std::move(d));
+    engine.channel(2).WaitSn(sn);
+    // Engine-level lookup works from any context, for any channel's SN.
+    EXPECT_TRUE(engine.IsComplete(sn));
+    EXPECT_TRUE(engine.IsComplete(Sn::None()));
+  });
+  sim.Run();
+}
+
+// -------------------------------------------------------------- quarantine
+
+TEST(QuarantineTest, FaultStrikesQuarantineThenProbationReleases) {
+  Simulation sim{{.num_cores = 2}};
+  SlowMemory mem(&sim, MediaParams::TwoNode(), 64_MB);
+  DmaEngine engine(&mem, kRecordOff, 6);
+  ChannelManager cm(&sim, &engine, ChannelManager::Options{});
+  Channel& ch0 = engine.channel(0);
+
+  cm.ReportChannelFault(ch0);
+  EXPECT_FALSE(cm.quarantined(ch0));  // one strike is not enough
+  cm.ReportChannelFault(ch0);
+  EXPECT_TRUE(cm.quarantined(ch0));
+  EXPECT_EQ(cm.quarantines(), 1u);
+
+  // No placement lands on the quarantined channel.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NE(cm.PickWriteChannel(), &ch0);
+  }
+  std::vector<Channel*> picks;
+  cm.PickWriteChannels(4, &picks);
+  EXPECT_EQ(picks.size(), 3u);  // 4 L channels minus the quarantined one
+  for (Channel* c : picks) {
+    EXPECT_NE(c, &ch0);
+  }
+
+  // Probation expires after quarantine_ns of virtual time; the channel
+  // rejoins the pick set.
+  sim.Run();
+  EXPECT_FALSE(cm.quarantined(ch0));
+  picks.clear();
+  cm.PickWriteChannels(4, &picks);
+  EXPECT_EQ(picks.size(), 4u);
+  EXPECT_NE(std::find(picks.begin(), picks.end(), &ch0), picks.end());
+}
+
+TEST(QuarantineTest, AllLChannelsQuarantinedYieldsNullptr) {
+  Simulation sim{{.num_cores = 2}};
+  SlowMemory mem(&sim, MediaParams::TwoNode(), 64_MB);
+  DmaEngine engine(&mem, kRecordOff, 6);
+  ChannelManager::Options opts;
+  opts.num_l_channels = 2;
+  opts.b_channel = 2;
+  ChannelManager cm(&sim, &engine, opts);
+  for (int c = 0; c < 2; ++c) {
+    cm.ReportChannelFault(engine.channel(c));
+    cm.ReportChannelFault(engine.channel(c));
+  }
+  EXPECT_EQ(cm.PickWriteChannel(), nullptr);
+  EXPECT_EQ(cm.PickReadChannel(), nullptr);
+  std::vector<Channel*> picks;
+  cm.PickWriteChannels(2, &picks);
+  EXPECT_TRUE(picks.empty());
+}
+
+TEST(QuarantineTest, HealthMonitorCatchesHaltedChannel) {
+  FaultPlan plan;
+  plan.errors.push_back({0, 0, 100});
+  Simulation sim{{.num_cores = 2}};
+  SlowMemory mem(&sim, MediaParams::TwoNode(), 64_MB);
+  FaultInjector injector(plan);
+  DmaEngine engine(&mem, kRecordOff, 6);
+  engine.AttachFaultInjector(&injector);
+  ChannelManager cm(&sim, &engine, ChannelManager::Options{});
+  cm.StartHealthMonitor();
+
+  const auto src = Pattern(8_KB, 10);
+  sim.Spawn(0, [&] {
+    Channel& ch = engine.channel(0);
+    Descriptor d;
+    d.dir = Descriptor::Dir::kWrite;
+    d.pmem_off = kDataOff;
+    d.dram = const_cast<std::byte*>(src.data());
+    d.size = 8_KB;
+    const Sn sn = ch.Submit(std::move(d));
+    EXPECT_EQ(ch.WaitSn(sn), DmaResult::kError);  // channel halts
+    // Nobody recovers it; the monitor's next scan must quarantine it.
+    sim.SleepFor(100'000);
+    EXPECT_TRUE(cm.quarantined(ch));
+    cm.StopHealthMonitor();
+    // Drain the stuck descriptor so the simulation can settle.
+    RetryPolicy p;
+    p.max_attempts = 0;
+    EXPECT_EQ(ch.WaitSnRecover(sn, p), DmaResult::kOk);
+  });
+  sim.Run();
+  EXPECT_GE(cm.quarantines(), 1u);
+}
+
+// -------------------------------------------------- filesystem-level paths
+
+TestbedConfig FaultyEasyConfig() {
+  TestbedConfig cfg;
+  cfg.fs = FsKind::kEasy;
+  cfg.machine_cores = 8;
+  cfg.device_bytes = 256_MB;
+  return cfg;
+}
+
+TEST(FsFaultTest, WritesAndReadsSurviveAllThreeFaultClasses) {
+  TestbedConfig cfg = FaultyEasyConfig();
+  // Sequential single-descriptor writes always land on the least-loaded
+  // healthy L channel — channel 0 until its quarantine — so explicit
+  // low-ordinal channel-0 entries are guaranteed to fire: a retried error,
+  // a stall, a torn record, then a second error that trips quarantine.
+  cfg.faults.errors.push_back({0, 0, 1});
+  cfg.faults.stalls.push_back({0, 1, 50'000});
+  cfg.faults.torn.push_back({0, 2});
+  cfg.faults.errors.push_back({0, 4, 1});
+  Testbed tb(cfg);
+  std::vector<std::vector<std::byte>> datas;
+  for (int i = 0; i < 12; ++i) {
+    datas.push_back(Pattern(32_KB, 100 + static_cast<uint64_t>(i)));
+  }
+  tb.sim().Spawn(0, [&] {
+    for (int i = 0; i < 12; ++i) {
+      const std::string path = "/f" + std::to_string(i);
+      int fd = *tb.fs().Create(path);
+      ASSERT_TRUE(tb.fs().Write(fd, 0, datas[static_cast<size_t>(i)]).ok());
+      ASSERT_TRUE(tb.fs().Close(fd).ok());
+    }
+    for (int i = 0; i < 12; ++i) {
+      const std::string path = "/f" + std::to_string(i);
+      int fd = *tb.fs().Open(path);
+      std::vector<std::byte> back(32_KB);
+      ASSERT_TRUE(tb.fs().Read(fd, 0, back).ok());
+      EXPECT_EQ(back, datas[static_cast<size_t>(i)]) << path;
+      ASSERT_TRUE(tb.fs().Close(fd).ok());
+    }
+  });
+  tb.sim().Run();
+  // The workload hit every injected fault class (not a vacuous pass), and
+  // the second error strike quarantined the channel.
+  const Channel& ch0 = tb.engine()->channel(0);
+  EXPECT_EQ(ch0.transfer_errors(), 2u);
+  EXPECT_EQ(ch0.retries(), 2u);
+  EXPECT_EQ(ch0.stalls_injected(), 1u);
+  EXPECT_EQ(ch0.torn_records(), 1u);
+  EXPECT_GE(tb.channel_manager()->quarantines(), 1u);
+}
+
+TEST(FsFaultTest, StripedWriteWaitsForEveryChannelsChunk) {
+  // Regression for the last-SN-only wait: stripe a write over two channels
+  // with heavily skewed latency. The overall last-submitted SN lands on the
+  // fast channel; returning when only IT completes would leave the slow
+  // channel's chunk in flight — not durable.
+  TestbedConfig cfg = FaultyEasyConfig();
+  cfg.cm_options.num_l_channels = 2;
+  cfg.cm_options.b_channel = 2;
+  cfg.easy_options.write_stripe_channels = 2;
+  cfg.easy_options.stripe_chunk_bytes = 16_KB;
+  Testbed tb(cfg);
+  std::vector<std::byte> ballast(2_MB);
+  const auto data = Pattern(48_KB, 11);
+  tb.sim().Spawn(0, [&] {
+    // Channel 1 first digests a 2MB read, so its stripe chunk finishes some
+    // hundred microseconds after channel 0's.
+    Descriptor d;
+    d.dir = Descriptor::Dir::kRead;
+    d.pmem_off = 128_MB;
+    d.dram = ballast.data();
+    d.size = 2_MB;
+    tb.engine()->channel(1).Submit(std::move(d));
+
+    int fd = *tb.fs().Create("/striped");
+    ASSERT_TRUE(tb.fs().Write(fd, 0, data).ok());
+    // 48KB in 16KB chunks over 2 channels: both carried part of the write,
+    // and the write call must not have returned before the slow channel's
+    // chunk (queued behind the 2MB transfer) completed.
+    EXPECT_EQ(tb.engine()->channel(1).queue_depth(), 0u);
+    EXPECT_GT(tb.engine()->channel(1).descriptors_completed(), 1u);
+    EXPECT_GT(tb.engine()->channel(0).descriptors_completed(), 0u);
+
+    std::vector<std::byte> back(48_KB);
+    ASSERT_TRUE(tb.fs().Read(fd, 0, back).ok());
+    EXPECT_EQ(back, data);
+    ASSERT_TRUE(tb.fs().Close(fd).ok());
+  });
+  tb.sim().Run();
+  EXPECT_EQ(tb.easy()->writes_offloaded(), 1u);
+}
+
+TEST(FsFaultTest, StripedWriteSurvivesTransferErrorOnOneStripe) {
+  TestbedConfig cfg = FaultyEasyConfig();
+  cfg.cm_options.num_l_channels = 2;
+  cfg.cm_options.b_channel = 2;
+  cfg.easy_options.write_stripe_channels = 2;
+  cfg.easy_options.stripe_chunk_bytes = 16_KB;
+  cfg.faults.errors.push_back({1, 0, 1});  // channel 1's first chunk fails
+  Testbed tb(cfg);
+  const auto data = Pattern(64_KB, 12);
+  tb.sim().Spawn(0, [&] {
+    int fd = *tb.fs().Create("/striped_err");
+    ASSERT_TRUE(tb.fs().Write(fd, 0, data).ok());
+    std::vector<std::byte> back(64_KB);
+    ASSERT_TRUE(tb.fs().Read(fd, 0, back).ok());
+    EXPECT_EQ(back, data);
+    ASSERT_TRUE(tb.fs().Close(fd).ok());
+  });
+  tb.sim().Run();
+  EXPECT_EQ(tb.engine()->channel(1).transfer_errors(), 1u);
+  EXPECT_EQ(tb.engine()->channel(1).retries(), 1u);
+}
+
+TEST(FsFaultTest, AllChannelsQuarantinedDegradesToMemcpy) {
+  TestbedConfig cfg = FaultyEasyConfig();
+  cfg.cm_options.num_l_channels = 2;
+  cfg.cm_options.b_channel = 2;
+  cfg.cm_options.quarantine_ns = 100'000'000;  // stays quarantined all run
+  Testbed tb(cfg);
+  const auto data = Pattern(32_KB, 13);
+  tb.sim().Spawn(0, [&] {
+    for (int c = 0; c < 2; ++c) {
+      tb.channel_manager()->ReportChannelFault(tb.engine()->channel(c));
+      tb.channel_manager()->ReportChannelFault(tb.engine()->channel(c));
+    }
+    int fd = *tb.fs().Create("/deg");
+    ASSERT_TRUE(tb.fs().Write(fd, 0, data).ok());
+    std::vector<std::byte> back(32_KB);
+    ASSERT_TRUE(tb.fs().Read(fd, 0, back).ok());
+    EXPECT_EQ(back, data);
+    ASSERT_TRUE(tb.fs().Close(fd).ok());
+  });
+  tb.sim().Run();
+  // Both directions fell back to the CPU path.
+  EXPECT_EQ(tb.easy()->writes_memcpy(), 1u);
+  EXPECT_EQ(tb.easy()->writes_offloaded(), 0u);
+  EXPECT_EQ(tb.easy()->reads_memcpy(), 1u);
+  EXPECT_EQ(tb.engine()->channel(0).descriptors_completed(), 0u);
+  EXPECT_EQ(tb.engine()->channel(1).descriptors_completed(), 0u);
+}
+
+TEST(FsFaultTest, NovaDmaBaselineRecoversFromTransferError) {
+  TestbedConfig cfg;
+  cfg.fs = FsKind::kNovaDma;
+  cfg.machine_cores = 8;
+  cfg.device_bytes = 256_MB;
+  cfg.faults.errors.push_back({0, 0, 1});
+  Testbed tb(cfg);
+  const auto data = Pattern(32_KB, 14);
+  tb.sim().Spawn(0, [&] {
+    int fd = *tb.fs().Create("/nd");
+    ASSERT_TRUE(tb.fs().Write(fd, 0, data).ok());
+    std::vector<std::byte> back(32_KB);
+    ASSERT_TRUE(tb.fs().Read(fd, 0, back).ok());
+    EXPECT_EQ(back, data);
+    ASSERT_TRUE(tb.fs().Close(fd).ok());
+  });
+  tb.sim().Run();
+  uint64_t errors = 0;
+  uint64_t retries = 0;
+  for (int c = 0; c < tb.engine()->num_channels(); ++c) {
+    errors += tb.engine()->channel(c).transfer_errors();
+    retries += tb.engine()->channel(c).retries();
+  }
+  EXPECT_EQ(errors, 1u);
+  EXPECT_EQ(retries, 1u);
+}
+
+}  // namespace
+}  // namespace easyio::dma
