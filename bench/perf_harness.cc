@@ -249,6 +249,89 @@ CaseResult RunFlowRecomputeLoop(uint64_t iters, int repeats) {
   return out;
 }
 
+// Measures one task-dispatch cycle: Yield -> host handles the directive ->
+// kick event fires -> switch back in. Two tasks ping-pong on one core, so
+// every context_switches() increment is one full cycle (two raw stack
+// switches plus the event-loop dispatch around them). The ucontext-fallback
+// build of the same commit runs the identical loop, so the ratio between the
+// two isolates the cost of glibc swapcontext (a sigprocmask syscall per raw
+// switch) against the syscall-free asm path.
+CaseResult RunUthreadSwitchLoop(uint64_t iters, int repeats) {
+  CaseResult out;
+  out.name = "micro_uthread_switch";
+  out.in_geomean = false;  // added after the seed baseline was recorded
+  double best = 1e18;
+  for (int r = 0; r < repeats; ++r) {
+    sim::Simulation sim({.num_cores = 1});
+    uint64_t remaining = iters;
+    for (int t = 0; t < 2; ++t) {
+      sim.Spawn(0, [&sim, &remaining] {
+        while (remaining > 0) {
+          remaining--;
+          sim.Yield();
+        }
+      });
+    }
+    const uint64_t c0 = sim.context_switches();
+    const uint64_t t0 = NowNs();
+    sim.Run();
+    const uint64_t wall = NowNs() - t0;
+    const uint64_t switches = sim.context_switches() - c0;
+    if (switches < iters) {
+      std::fprintf(stderr, "uthread switch loop undercounted\n");
+    }
+    out.ops = switches;
+    best = std::min(best,
+                    static_cast<double>(wall) / static_cast<double>(switches));
+  }
+  out.wall_ns_per_op = best;
+  return out;
+}
+
+// Exercises the timing wheel across its level structure: near events (levels
+// 0-1), mid-range events (level 2), far events that land in the heap
+// fallback, plus a cancellation stream exercising the generation tags.
+CaseResult RunTimerWheelLoop(uint64_t iters, int repeats) {
+  CaseResult out;
+  out.name = "micro_timer_wheel";
+  out.in_geomean = false;  // added after the seed baseline was recorded
+  double best = 1e18;
+  for (int r = 0; r < repeats; ++r) {
+    sim::Simulation sim({.num_cores = 1});
+    Rng rng(23);
+    uint64_t fired = 0;
+    std::vector<sim::EventId> cancelable;
+    const uint64_t t0 = NowNs();
+    for (uint64_t i = 0; i < iters; ++i) {
+      sim.ScheduleAfter(1 + rng.Below(200), [&fired] { fired++; });
+      if (i % 4 == 0) {
+        cancelable.push_back(
+            sim.ScheduleAfter(100 + rng.Below(4000), [&fired] { fired++; }));
+      }
+      if (i % 8 == 0) {
+        // Beyond the level-3 window: lands in the heap, fires much later.
+        sim.ScheduleAfter(20'000'000 + rng.Below(1000),
+                          [&fired] { fired++; });
+      }
+      if (i % 5 == 0 && !cancelable.empty()) {
+        sim.Cancel(cancelable.back());
+        cancelable.pop_back();
+      }
+      sim.RunFor(150);
+    }
+    sim.Run();
+    const uint64_t wall = NowNs() - t0;
+    if (fired == 0) {
+      std::fprintf(stderr, "timer wheel loop fired nothing\n");
+    }
+    best = std::min(best,
+                    static_cast<double>(wall) / static_cast<double>(iters));
+  }
+  out.wall_ns_per_op = best;
+  out.ops = iters;
+  return out;
+}
+
 CaseResult RunEventLoop(uint64_t iters, int repeats) {
   CaseResult out;
   out.name = "micro_event_schedule_fire";
@@ -322,6 +405,21 @@ double Geomean(const std::vector<CaseResult>& cases) {
   return std::exp(log_sum / static_cast<double>(n));
 }
 
+// Geomean of sim_ratio over the fxmark cases (the only ones with a virtual
+// clock): how many host ns the simulator burns per simulated ns.
+double SimRatioGeomean(const std::vector<CaseResult>& cases) {
+  double log_sum = 0;
+  int n = 0;
+  for (const auto& c : cases) {
+    if (!c.in_geomean || c.sim_ratio <= 0) {
+      continue;
+    }
+    log_sum += std::log(c.sim_ratio);
+    n++;
+  }
+  return n == 0 ? 0 : std::exp(log_sum / static_cast<double>(n));
+}
+
 void EmitRun(std::ostringstream& os, const std::vector<CaseResult>& cases,
              const std::string& indent) {
   os << indent << "\"mix\": [\n";
@@ -343,11 +441,73 @@ void EmitRun(std::ostringstream& os, const std::vector<CaseResult>& cases,
   std::snprintf(buf, sizeof(buf), "%s\"geomean_ns_per_op\": %.2f,\n",
                 indent.c_str(), Geomean(cases));
   os << buf;
+  std::snprintf(buf, sizeof(buf), "%s\"sim_ratio_geomean\": %.4f,\n",
+                indent.c_str(), SimRatioGeomean(cases));
+  os << buf;
   struct rusage ru{};
   getrusage(RUSAGE_SELF, &ru);
   std::snprintf(buf, sizeof(buf), "%s\"peak_rss_kb\": %ld\n", indent.c_str(),
                 ru.ru_maxrss);
   os << buf;
+}
+
+// ----------------------------------------------------------- history file ----
+
+// BENCH_history.json keeps one entry per harness run next to the report, so
+// the geomean/sim_ratio trajectory across PRs survives the report's
+// current-block overwrites. --as-baseline rotates the file: the old
+// trajectory measured a different baseline epoch, so it starts over with the
+// new baseline as entry zero.
+std::string HistoryPathFor(const std::string& out_path) {
+  const size_t slash = out_path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "" : out_path.substr(0, slash + 1);
+  return dir + "BENCH_history.json";
+}
+
+void AppendHistory(const std::string& out_path, double geomean,
+                   double sim_ratio_geomean, int repeats, bool as_baseline) {
+  const std::string path = HistoryPathFor(out_path);
+  std::string entries;
+  if (!as_baseline) {  // rotate: a new baseline discards the old trajectory
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      const std::string prev = ss.str();
+      const size_t b = prev.find('[');
+      const size_t e = prev.rfind(']');
+      if (b != std::string::npos && e != std::string::npos && e > b + 1) {
+        entries = prev.substr(b + 1, e - b - 1);
+        // Trim surrounding whitespace so the re-emit below stays tidy.
+        while (!entries.empty() &&
+               (entries.back() == '\n' || entries.back() == ' ')) {
+          entries.pop_back();
+        }
+        while (!entries.empty() &&
+               (entries.front() == '\n' || entries.front() == ' ')) {
+          entries.erase(entries.begin());
+        }
+        if (!entries.empty()) {
+          entries.insert(0, "    ");
+        }
+      }
+    }
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "    {\"geomean_ns_per_op\": %.2f, \"sim_ratio_geomean\": "
+                "%.4f, \"repeats\": %d, \"baseline\": %s}",
+                geomean, sim_ratio_geomean, repeats,
+                as_baseline ? "true" : "false");
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"easyio-bench-history-v1\",\n  \"entries\": [\n";
+  if (!entries.empty()) {
+    os << entries << ",\n";
+  }
+  os << buf << "\n  ]\n}\n";
+  std::ofstream out(path);
+  out << os.str();
 }
 
 // Extracts the previously recorded baseline block (between the exact marker
@@ -408,6 +568,7 @@ int main(int argc, char** argv) {
   using namespace easyio;
   bool smoke = false;
   bool as_baseline = false;
+  double check_regression_pct = -1;  // <0: no gate
   int repeats = 3;
   // The measured mix defaults to serial: co-running simulations contend for
   // host cycles and inflate each other's wall_ns_per_op.
@@ -428,12 +589,15 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
       jobs = std::max(1, std::atoi(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--check-regression=", 19) == 0) {
+      check_regression_pct = std::atof(argv[i] + 19);
     } else if (std::strncmp(argv[i], "--trace", 7) == 0) {
       // handled by ParseTraceFlags
     } else {
       std::fprintf(stderr,
                    "usage: perf_harness [--smoke] [--as-baseline] "
-                   "[--repeats N] [--out PATH] [--jobs=N] [--trace=PATH] "
+                   "[--repeats N] [--out PATH] [--jobs=N] "
+                   "[--check-regression=PCT] [--trace=PATH] "
                    "[--trace-sample=N]\n");
       return 2;
     }
@@ -492,6 +656,12 @@ int main(int argc, char** argv) {
   std::printf("%-28s %10.1f ns/op\n", cases.back().name.c_str(),
               cases.back().wall_ns_per_op);
   cases.push_back(RunFlowRecomputeLoop(micro_iters / 4, repeats));
+  std::printf("%-28s %10.1f ns/op  (excluded from geomean)\n",
+              cases.back().name.c_str(), cases.back().wall_ns_per_op);
+  cases.push_back(RunUthreadSwitchLoop(micro_iters, repeats));
+  std::printf("%-28s %10.1f ns/switch  (excluded from geomean)\n",
+              cases.back().name.c_str(), cases.back().wall_ns_per_op);
+  cases.push_back(RunTimerWheelLoop(micro_iters / 2, repeats));
   std::printf("%-28s %10.1f ns/op  (excluded from geomean)\n",
               cases.back().name.c_str(), cases.back().wall_ns_per_op);
 
@@ -562,12 +732,34 @@ int main(int argc, char** argv) {
   std::ofstream out(out_path);
   out << report;
   out.close();
-  std::printf("\ngeomean %.1f ns/op", cur_geo);
+  std::printf("\ngeomean %.1f ns/op  sim_ratio %.2f", cur_geo,
+              SimRatioGeomean(cases));
   if (base_geo > 0) {
     std::printf("  (baseline %.1f, %.1f%% better)", base_geo,
                 100.0 * (base_geo - cur_geo) / base_geo);
   }
   std::printf("  -> %s\n", out_path.c_str());
+  if (!smoke) {
+    AppendHistory(out_path, cur_geo, SimRatioGeomean(cases), repeats,
+                  as_baseline);
+  }
+  if (check_regression_pct >= 0) {
+    if (base_geo <= 0) {
+      std::fprintf(stderr,
+                   "perf_harness: --check-regression with no baseline "
+                   "recorded; skipping gate\n");
+    } else if (cur_geo > base_geo * (1.0 + check_regression_pct / 100.0)) {
+      std::fprintf(stderr,
+                   "perf_harness: REGRESSION geomean %.1f ns/op exceeds "
+                   "baseline %.1f by more than %.1f%%\n",
+                   cur_geo, base_geo, check_regression_pct);
+      return 1;
+    } else {
+      std::printf("regression gate ok (geomean %.1f vs baseline %.1f, "
+                  "limit +%.1f%%)\n",
+                  cur_geo, base_geo, check_regression_pct);
+    }
+  }
   if (smoke) {
     // Self-check: re-read and validate shape.
     std::ifstream in(out_path);

@@ -1,12 +1,35 @@
 #include "src/pmem/slow_memory.h"
 
+#include <sys/mman.h>
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "src/common/units.h"
 
 namespace easyio::pmem {
+
+ZeroMappedBytes::ZeroMappedBytes(size_t size) : size_(size) {
+  if (size == 0) {
+    return;
+  }
+  void* p = mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) {
+    std::perror("easyio: mmap of device backing store failed");
+    std::abort();
+  }
+  data_ = static_cast<std::byte*>(p);
+}
+
+ZeroMappedBytes::~ZeroMappedBytes() {
+  if (data_ != nullptr) {
+    munmap(data_, size_);
+  }
+}
 
 SlowMemory::SlowMemory(sim::Simulation* sim, const MediaParams& params,
                        size_t size)
@@ -173,7 +196,7 @@ void SlowMemory::CompleteInflightWrite(uint64_t token) {
 }
 
 std::vector<std::byte> SlowMemory::CrashImage() const {
-  std::vector<std::byte> image = data_;
+  std::vector<std::byte> image(data_.data(), data_.data() + data_.size());
   for (const auto& [token, entry] : inflight_) {
     double progress = 0.0;
     if (entry.res != nullptr) {
@@ -193,7 +216,7 @@ std::vector<std::byte> SlowMemory::CrashImage() const {
 
 void SlowMemory::LoadImage(const std::vector<std::byte>& image) {
   assert(image.size() == data_.size());
-  data_ = image;
+  std::memcpy(data_.data(), image.data(), image.size());
 }
 
 }  // namespace easyio::pmem

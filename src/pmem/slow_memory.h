@@ -29,6 +29,29 @@
 
 namespace easyio::pmem {
 
+// Demand-zero backing store for the modeled device. Semantically identical
+// to a value-initialized std::vector<std::byte> (every byte reads as zero
+// until written) but backed by an anonymous mmap, so constructing a 512 MiB
+// device costs a page-table entry, not a half-gigabyte memset — and teardown
+// is one munmap. Benchmarks pay for the pages the workload actually touches,
+// nothing more.
+class ZeroMappedBytes {
+ public:
+  explicit ZeroMappedBytes(size_t size);
+  ~ZeroMappedBytes();
+
+  ZeroMappedBytes(const ZeroMappedBytes&) = delete;
+  ZeroMappedBytes& operator=(const ZeroMappedBytes&) = delete;
+
+  std::byte* data() { return data_; }
+  const std::byte* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  std::byte* data_ = nullptr;
+  size_t size_ = 0;
+};
+
 class SlowMemory {
  public:
   SlowMemory(sim::Simulation* sim, const MediaParams& params, size_t size);
@@ -117,7 +140,7 @@ class SlowMemory {
 
   sim::Simulation* sim_;
   MediaParams params_;
-  std::vector<std::byte> data_;
+  ZeroMappedBytes data_;
   std::unique_ptr<sim::FlowResource> read_flows_;
   std::unique_ptr<sim::FlowResource> write_flows_;
   uint64_t barriers_ = 0;

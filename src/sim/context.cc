@@ -48,18 +48,15 @@ void ReleaseContext(Context* ctx) { (void)ctx; }
 #if defined(EASYIO_UCONTEXT)
 
 namespace {
-// ucontext's makecontext only forwards int arguments portably; stash the
-// (entry, arg) pair and fetch it from the trampoline. A simulation is
-// single-threaded so one slot per host thread is sufficient (MakeContext and
-// the first switch never interleave); thread_local keeps concurrent
-// scenario workers from clobbering each other's slot.
-thread_local ContextEntry g_pending_entry;
-thread_local void* g_pending_arg;
-
-void UcontextTrampoline() {
-  ContextEntry entry = g_pending_entry;
-  void* arg = g_pending_arg;
-  entry(arg);
+// ucontext's makecontext only forwards int arguments portably; the (entry,
+// arg) pair lives in the Context and the Context* rides in as two halves.
+// (A per-thread pending slot does NOT work: several tasks are routinely
+// MakeContext'd before the first one is switched into, and each stash would
+// overwrite the last.)
+void UcontextTrampoline(unsigned hi, unsigned lo) {
+  auto* ctx = reinterpret_cast<Context*>(
+      (static_cast<uintptr_t>(hi) << 32) | static_cast<uintptr_t>(lo));
+  ctx->entry(ctx->arg);
   std::fprintf(stderr, "easyio: context entry function returned\n");
   std::abort();
 }
@@ -71,9 +68,12 @@ void MakeContext(Context* ctx, void* stack_base, size_t stack_size,
   ctx->uc.uc_stack.ss_sp = stack_base;
   ctx->uc.uc_stack.ss_size = stack_size;
   ctx->uc.uc_link = nullptr;
-  g_pending_entry = entry;
-  g_pending_arg = arg;
-  makecontext(&ctx->uc, UcontextTrampoline, 0);
+  ctx->entry = entry;
+  ctx->arg = arg;
+  const auto p = reinterpret_cast<uintptr_t>(ctx);
+  makecontext(&ctx->uc, reinterpret_cast<void (*)()>(UcontextTrampoline), 2,
+              static_cast<unsigned>(p >> 32),
+              static_cast<unsigned>(p & 0xffffffffu));
 #if defined(EASYIO_TSAN_FIBERS)
   ReleaseContext(ctx);
   ctx->tsan_fiber = __tsan_create_fiber(0);
@@ -182,8 +182,100 @@ void SwapContext(Context* from, Context* to) {
   easyio_ctx_swap(from, to);
 }
 
+#elif defined(__aarch64__)
+
+// Register layout stored on the coroutine stack by easyio_ctx_swap, from low
+// to high address (20 slots, 160 bytes, keeps sp 16-byte aligned):
+//   x19 x20 x21 x22 x23 x24 x25 x26 x27 x28 x29 x30 d8..d15
+//
+// easyio_ctx_entry is the first "return address" (x30 slot) of a fresh
+// context. At that point x19 holds the entry function and x20 the user
+// argument, both planted by MakeContext and callee-saved across the swap.
+asm(R"(
+  .text
+  .globl easyio_ctx_swap
+  .type easyio_ctx_swap, %function
+  .align 4
+easyio_ctx_swap:
+  sub sp, sp, #160
+  stp x19, x20, [sp, #0]
+  stp x21, x22, [sp, #16]
+  stp x23, x24, [sp, #32]
+  stp x25, x26, [sp, #48]
+  stp x27, x28, [sp, #64]
+  stp x29, x30, [sp, #80]
+  stp d8, d9, [sp, #96]
+  stp d10, d11, [sp, #112]
+  stp d12, d13, [sp, #128]
+  stp d14, d15, [sp, #144]
+  mov x9, sp
+  str x9, [x0]
+  ldr x9, [x1]
+  mov sp, x9
+  ldp x19, x20, [sp, #0]
+  ldp x21, x22, [sp, #16]
+  ldp x23, x24, [sp, #32]
+  ldp x25, x26, [sp, #48]
+  ldp x27, x28, [sp, #64]
+  ldp x29, x30, [sp, #80]
+  ldp d8, d9, [sp, #96]
+  ldp d10, d11, [sp, #112]
+  ldp d12, d13, [sp, #128]
+  ldp d14, d15, [sp, #144]
+  add sp, sp, #160
+  ret
+  .size easyio_ctx_swap, .-easyio_ctx_swap
+
+  .globl easyio_ctx_entry
+  .type easyio_ctx_entry, %function
+  .align 4
+easyio_ctx_entry:
+  mov x0, x20
+  blr x19
+  bl easyio_ctx_abort
+  .size easyio_ctx_entry, .-easyio_ctx_entry
+
+  .section .note.GNU-stack,"",%progbits
+  .text
+)");
+
+extern "C" void easyio_ctx_swap(Context* from, Context* to);
+
+extern "C" void easyio_ctx_abort() {
+  std::fprintf(stderr, "easyio: context entry function returned\n");
+  std::abort();
+}
+
+void MakeContext(Context* ctx, void* stack_base, size_t stack_size,
+                 ContextEntry entry, void* arg) {
+  // Highest usable address, 16-byte aligned (AAPCS64 requires sp%16==0).
+  auto top = reinterpret_cast<uintptr_t>(stack_base) + stack_size;
+  top &= ~uintptr_t{15};
+
+  auto* frame = reinterpret_cast<uint64_t*>(top) - 20;
+  std::memset(frame, 0, 20 * sizeof(uint64_t));
+  frame[0] = reinterpret_cast<uint64_t>(entry);  // x19
+  frame[1] = reinterpret_cast<uint64_t>(arg);    // x20
+  extern void easyio_ctx_entry_decl() asm("easyio_ctx_entry");
+  frame[11] = reinterpret_cast<uint64_t>(&easyio_ctx_entry_decl);  // x30
+
+  ctx->sp = frame;
+#if defined(EASYIO_TSAN_FIBERS)
+  ReleaseContext(ctx);
+  ctx->tsan_fiber = __tsan_create_fiber(0);
+  ctx->tsan_fiber_owned = true;
+#endif
+}
+
+void SwapContext(Context* from, Context* to) {
+#if defined(EASYIO_TSAN_FIBERS)
+  TsanBeforeSwap(from, to);
+#endif
+  easyio_ctx_swap(from, to);
+}
+
 #else
-#error "Unsupported architecture: build with -DEASYIO_USE_UCONTEXT=ON"
+#error "No fast context switch for this architecture: build with -DEASYIO_UCONTEXT_FALLBACK=ON"
 #endif
 
 }  // namespace easyio::sim

@@ -2,9 +2,12 @@
 //
 // The simulator multiplexes every simulated core's uthreads onto the single
 // host thread, so a context is just a saved stack pointer plus the
-// callee-saved registers spilled onto that stack (boost::fcontext style). The
-// x86-64 System V fast path is ~20ns per switch; a portable ucontext fallback
-// is selectable with -DEASYIO_USE_UCONTEXT for other architectures.
+// callee-saved registers spilled onto that stack (boost::fcontext style) —
+// no syscall anywhere on the path, unlike glibc swapcontext, which enters
+// the kernel for sigprocmask on every switch. Fast paths exist for x86-64
+// System V (~20ns per switch) and aarch64 AAPCS64; a portable ucontext
+// fallback is selectable with -DEASYIO_UCONTEXT_FALLBACK=ON and is forced
+// automatically on other architectures.
 //
 // Only the simulation kernel touches this API; everything above it uses
 // sim::Task.
@@ -37,6 +40,13 @@ namespace easyio::sim {
 
 struct Context {
   ucontext_t uc;
+  // makecontext only forwards int arguments portably, so the (entry, arg)
+  // pair lives here and the trampoline receives this Context* split across
+  // two ints. A context must therefore stay at a stable address between
+  // MakeContext and its first switch-in (Task objects are heap-allocated and
+  // never move, so the kernel satisfies this for free).
+  void (*entry)(void*) = nullptr;
+  void* arg = nullptr;
 #if defined(EASYIO_TSAN_FIBERS)
   void* tsan_fiber = nullptr;
   bool tsan_fiber_owned = false;  // created by MakeContext (vs adopted)

@@ -52,6 +52,9 @@ FlowResource::FlowId FlowResource::StartFlow(uint64_t bytes,
   flow.done = std::move(done);
   flows_.push_back(std::move(flow));  // ids are monotonic: stays sorted
   (type == FlowType::kCpu ? cpu_flows_ : dma_flows_)++;
+  auto& order = OrderFor(type);
+  const auto entry = std::make_pair(per_flow_cap_gbps, id);
+  order.insert(std::upper_bound(order.begin(), order.end(), entry), entry);
   Recompute();
   return id;
 }
@@ -85,6 +88,11 @@ double FlowResource::CancelFlow(FlowId id) {
   bytes_completed_ +=
       static_cast<uint64_t>(f.bytes_total - std::max(0.0, f.bytes_left));
   (f.type == FlowType::kCpu ? cpu_flows_ : dma_flows_)--;
+  auto& order = OrderFor(f.type);
+  const auto entry = std::make_pair(f.cap_gbps, id);
+  const auto oit = std::lower_bound(order.begin(), order.end(), entry);
+  assert(oit != order.end() && *oit == entry);
+  order.erase(oit);
   flows_.erase(it);  // shifts the tail; ascending-id order is preserved
   Recompute();
   return progress;
@@ -102,37 +110,47 @@ void FlowResource::Settle() {
   last_settle_ = now;
 }
 
-void FlowResource::MaxMin(std::vector<Flow>& flows, FlowType type,
-                          double aggregate_gbps, double* sum_rate_bps) {
-  // Water-filling in ascending per-flow-cap order.
-  std::vector<Flow*> group;
-  for (Flow& flow : flows) {
-    if (flow.type == type) {
-      group.push_back(&flow);
-    }
-  }
+void FlowResource::MaxMin(
+    const std::vector<std::pair<double, FlowId>>& order,
+    double aggregate_gbps, double* sum_rate_bps) {
+  // Water-filling in ascending per-flow-cap order (pre-sorted, maintained
+  // incrementally by StartFlow/CancelFlow/completion).
   *sum_rate_bps = 0;
-  if (group.empty()) {
+  if (order.empty()) {
     return;
   }
-  std::stable_sort(group.begin(), group.end(), [](const Flow* a, const Flow* b) {
-    return a->cap_gbps < b->cap_gbps;
-  });
   double remaining = GbpsToBps(std::max(0.0, aggregate_gbps));
-  size_t left = group.size();
-  for (Flow* flow : group) {
+  size_t left = order.size();
+  for (const auto& [cap_gbps, id] : order) {
+    auto it = FindFlow(id);
+    assert(it != flows_.end());
     const double share = remaining / static_cast<double>(left);
-    const double rate = std::min(GbpsToBps(flow->cap_gbps), share);
-    flow->rate_bps = rate;
+    const double rate = std::min(GbpsToBps(cap_gbps), share);
+    it->rate_bps = rate;
     remaining -= rate;
     left--;
     *sum_rate_bps += rate;
   }
 }
 
+void FlowResource::EndBatch() {
+  assert(batch_depth_ > 0);
+  if (--batch_depth_ == 0 && recompute_deferred_) {
+    recompute_deferred_ = false;
+    Recompute();
+  }
+}
+
 void FlowResource::Recompute() {
   if (in_recompute_) {
     return;  // a completion callback re-entered; the outer call finishes up
+  }
+  if (batch_depth_ > 0) {
+    // A BatchScope is open: one recomputation at scope exit covers every
+    // mutation made at this instant. The still-armed completion event cannot
+    // fire meanwhile (no events run inside the synchronous scope).
+    recompute_deferred_ = true;
+    return;
   }
   if (pending_event_ != 0) {
     sim_->Cancel(pending_event_);
@@ -150,10 +168,10 @@ void FlowResource::Recompute() {
 
   double cpu_sum = 0;
   double dma_sum = 0;
-  MaxMin(flows_, FlowType::kCpu,
+  MaxMin(cpu_order_,
          model_.cpu_aggregate ? model_.cpu_aggregate(cpu_flows_) : model_.total,
          &cpu_sum);
-  MaxMin(flows_, FlowType::kDma,
+  MaxMin(dma_order_,
          model_.dma_aggregate ? model_.dma_aggregate(dma_flows_) : model_.total,
          &dma_sum);
   const double total_bps = GbpsToBps(model_.total);
@@ -198,14 +216,21 @@ void FlowResource::Recompute() {
     Settle();
     // Collect and remove all flows that just finished, then recompute before
     // running callbacks (callbacks may start new flows). The in-place
-    // compaction keeps surviving flows in ascending-id order.
+    // compaction keeps surviving flows in ascending-id order. The callback
+    // buffer is recycled across completions (swap out / swap back).
     std::vector<DoneFn> done;
+    done.swap(done_scratch_);
     size_t keep = 0;
     for (size_t i = 0; i < flows_.size(); ++i) {
       Flow& flow = flows_[i];
       if (flow.bytes_left <= kDoneEpsilonBytes) {
         bytes_completed_ += static_cast<uint64_t>(flow.bytes_total);
         (flow.type == FlowType::kCpu ? cpu_flows_ : dma_flows_)--;
+        auto& order = OrderFor(flow.type);
+        const auto entry = std::make_pair(flow.cap_gbps, flow.id);
+        const auto oit = std::lower_bound(order.begin(), order.end(), entry);
+        assert(oit != order.end() && *oit == entry);
+        order.erase(oit);
         done.push_back(std::move(flow.done));
       } else {
         if (keep != i) {
@@ -216,11 +241,19 @@ void FlowResource::Recompute() {
     }
     flows_.resize(keep);
     Recompute();
-    for (DoneFn& fn : done) {
-      if (fn) {
-        fn();
+    {
+      // Callbacks often start follow-up flows synchronously (a DMA channel
+      // launching its next descriptor); batch their recomputations so N
+      // same-instant completions trigger one water-fill, not N.
+      BatchScope batch(this);
+      for (DoneFn& fn : done) {
+        if (fn) {
+          fn();
+        }
       }
     }
+    done.clear();
+    done_scratch_.swap(done);
   });
 }
 

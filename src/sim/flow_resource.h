@@ -93,6 +93,26 @@ class FlowResource {
     Recompute();
   }
 
+  // Defers rate recomputation across a run of StartFlow/CancelFlow calls
+  // that happen at one virtual instant: each mutation would otherwise
+  // cancel and reschedule the completion event and re-run the water-fill,
+  // only for the next mutation to redo it all. The scope must be strictly
+  // synchronous (no Advance/Yield/RunUntil inside). Eliding the
+  // intermediate recomputes is determinism-safe: the elided completion
+  // events could never have fired (they would have been cancelled within
+  // the same instant), and dropping their sequence numbers is an
+  // order-preserving renumbering of every surviving event.
+  class BatchScope {
+   public:
+    explicit BatchScope(FlowResource* r) : r_(r) { r_->BeginBatch(); }
+    ~BatchScope() { r_->EndBatch(); }
+    BatchScope(const BatchScope&) = delete;
+    BatchScope& operator=(const BatchScope&) = delete;
+
+   private:
+    FlowResource* r_;
+  };
+
  private:
   struct Flow {
     FlowId id;
@@ -106,8 +126,14 @@ class FlowResource {
 
   void Settle();       // account transferred bytes up to now
   void Recompute();    // recompute rates + (re)schedule next completion
-  static void MaxMin(std::vector<Flow>& flows, FlowType type,
-                     double aggregate_gbps, double* sum_rate_bps);
+  void BeginBatch() { batch_depth_++; }
+  void EndBatch();
+  // Water-fills one type's flows, walking its pre-sorted (cap, id) order.
+  void MaxMin(const std::vector<std::pair<double, FlowId>>& order,
+              double aggregate_gbps, double* sum_rate_bps);
+  std::vector<std::pair<double, FlowId>>& OrderFor(FlowType type) {
+    return type == FlowType::kCpu ? cpu_order_ : dma_order_;
+  }
   // Binary search by id; flows_.end() if absent.
   std::vector<Flow>::iterator FindFlow(FlowId id);
   std::vector<Flow>::const_iterator FindFlow(FlowId id) const;
@@ -121,15 +147,26 @@ class FlowResource {
   // std::map this replaced (ascending id => deterministic); lookups are
   // binary searches, erases shift the tail and preserve order.
   std::vector<Flow> flows_;
+  // Per-type water-filling order, kept sorted by (per-flow cap, id)
+  // incrementally on start/finish/cancel. Replaces the per-Recompute
+  // group-gather + stable_sort: caps never change after StartFlow, so the
+  // sort is paid once per flow instead of once per recomputation — and the
+  // hot path stops allocating. Ties on cap fall back to id, which is
+  // insertion order, matching what the stable sort produced.
+  std::vector<std::pair<double, FlowId>> cpu_order_;
+  std::vector<std::pair<double, FlowId>> dma_order_;
   int cpu_flows_ = 0;
   int dma_flows_ = 0;
   FlowId next_id_ = 1;
   SimTime last_settle_ = 0;
   EventId pending_event_ = 0;
   bool in_recompute_ = false;
+  int batch_depth_ = 0;
+  bool recompute_deferred_ = false;
   uint64_t bytes_completed_ = 0;
   double total_rate_bps_ = 0;
   std::function<void()> rates_changed_hook_;
+  std::vector<DoneFn> done_scratch_;  // completion-callback buffer, reused
 };
 
 }  // namespace easyio::sim

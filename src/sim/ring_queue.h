@@ -1,0 +1,73 @@
+// RingQueue: a flat circular deque for the per-core run queues.
+//
+// std::deque allocates and frees its backing blocks as the head/tail cross
+// chunk boundaries, so a steady spawn/finish churn still touches the heap
+// every few dozen operations. The run queue needs exactly four operations
+// (push_back, pop_front for FIFO dispatch, back/pop_back for work stealing),
+// all O(1) here, and the power-of-two backing vector is only ever grown —
+// after warmup a core's queue performs zero allocations, which the
+// spawn/exit churn test in tests/sim_stack_test.cc pins down.
+
+#ifndef EASYIO_SIM_RING_QUEUE_H_
+#define EASYIO_SIM_RING_QUEUE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace easyio::sim {
+
+template <typename T>
+class RingQueue {
+ public:
+  bool empty() const { return count_ == 0; }
+  size_t size() const { return count_; }
+
+  void push_back(T value) {
+    if (count_ == buf_.size()) {
+      Grow();
+    }
+    buf_[(head_ + count_) & (buf_.size() - 1)] = std::move(value);
+    count_++;
+  }
+
+  T& front() {
+    assert(count_ > 0);
+    return buf_[head_];
+  }
+
+  void pop_front() {
+    assert(count_ > 0);
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    count_--;
+  }
+
+  T& back() {
+    assert(count_ > 0);
+    return buf_[(head_ + count_ - 1) & (buf_.size() - 1)];
+  }
+
+  void pop_back() {
+    assert(count_ > 0);
+    count_--;
+  }
+
+ private:
+  void Grow() {
+    const size_t new_cap = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<T> next(new_cap);
+    for (size_t i = 0; i < count_; ++i) {
+      next[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+    }
+    buf_.swap(next);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;  // capacity is always a power of two (or empty)
+  size_t head_ = 0;
+  size_t count_ = 0;
+};
+
+}  // namespace easyio::sim
+
+#endif  // EASYIO_SIM_RING_QUEUE_H_

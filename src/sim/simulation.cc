@@ -18,20 +18,20 @@ thread_local std::vector<Simulation*> g_sim_stack;
 
 Simulation::Simulation(const Options& options)
     : cores_(static_cast<size_t>(options.num_cores)),
-      stack_size_(options.stack_size) {
+      stacks_(StackAllocator::Options{options.stack_size,
+                                      options.stack_guard_pages,
+                                      options.poison_stacks}),
+      core_poll_hooks_(static_cast<size_t>(options.num_cores)),
+      core_steal_hooks_(static_cast<size_t>(options.num_cores)),
+      core_enqueue_hooks_(static_cast<size_t>(options.num_cores)) {
   assert(options.num_cores >= 1);
   g_sim_stack.push_back(this);
 }
 
 Simulation::~Simulation() {
-  for (std::byte* stack : stack_pool_) {
-    delete[] stack;
-  }
-  for (auto& [id, task] : tasks_) {
-    if (task->stack_ != nullptr) {
-      delete[] task->stack_;
-      task->stack_ = nullptr;
-    }
+  // Stack memory is owned by stacks_ (freed on member destruction); contexts
+  // of never-finished tasks may still hold sanitizer fiber state.
+  for (auto& task : tasks_) {
     ReleaseContext(&task->ctx_);
   }
   std::erase(g_sim_stack, this);
@@ -70,7 +70,7 @@ EventId Simulation::ScheduleAt(SimTime t, EventFn fn) {
   EventSlot& s = event_slots_[slot];
   s.fn = std::move(fn);
   s.armed = true;
-  events_.push(Event{t, next_event_seq_++, slot, s.gen});
+  events_.Insert(TimerWheel::Entry{t, next_event_seq_++, slot, s.gen});
   return MakeEventId(slot, s.gen);
 }
 
@@ -89,18 +89,14 @@ void Simulation::Cancel(EventId id) {
   if (s.gen != gen || !s.armed) {
     return;  // already fired, cancelled, or recycled
   }
-  ReleaseEventSlot(slot);  // the stale heap entry is skipped on pop
+  ReleaseEventSlot(slot);  // the stale wheel entry is skipped on pop
 }
 
 void Simulation::RunUntil(SimTime limit) {
   assert(!in_task() && "RunUntil called from inside a task");
   running_loop_ = true;
-  while (!events_.empty() && !stop_requested_) {
-    const Event ev = events_.top();
-    if (ev.time > limit) {
-      break;
-    }
-    events_.pop();
+  TimerWheel::Entry ev;
+  while (!stop_requested_ && events_.PopNext(limit, &ev)) {
     EventSlot& s = event_slots_[ev.slot];
     if (s.gen != ev.gen || !s.armed) {
       continue;  // cancelled (slot already recycled)
@@ -121,31 +117,32 @@ void Simulation::Run() { RunUntil(kSimTimeMax); }
 
 // ----------------------------------------------------------------- tasks ----
 
-std::byte* Simulation::AllocStack() {
-  if (!stack_pool_.empty()) {
-    std::byte* stack = stack_pool_.back();
-    stack_pool_.pop_back();
-    return stack;
-  }
-  return new std::byte[stack_size_];
-}
-
-void Simulation::RecycleStack(std::byte* stack) {
-  stack_pool_.push_back(stack);
-}
-
 Task* Simulation::CreateTask(int core, std::function<void()> fn,
                              bool detached) {
   assert(core >= 0 && core < num_cores());
-  auto task = std::unique_ptr<Task>(
-      new Task(next_task_id_++, core, std::move(fn)));
-  task->owner_ = this;
-  task->detached_ = detached;
-  task->stack_ = AllocStack();
-  MakeContext(&task->ctx_, task->stack_, stack_size_, &Simulation::TaskEntry,
-              task.get());
-  Task* raw = task.get();
-  tasks_.emplace(raw->id(), std::move(task));
+  Task* raw;
+  if (!free_tasks_.empty()) {
+    raw = free_tasks_.back();
+    free_tasks_.pop_back();
+    assert(raw->state_ == Task::State::kFinished && raw->joiners_.empty());
+    raw->id_ = next_task_id_++;
+    raw->core_ = core;
+    raw->fn_ = std::move(fn);
+    raw->state_ = Task::State::kRunnable;
+    raw->detached_ = detached;
+    raw->holds_core_ = false;
+    raw->user_data_ = nullptr;
+    raw->name_.clear();
+  } else {
+    tasks_.push_back(std::unique_ptr<Task>(
+        new Task(next_task_id_++, core, std::move(fn))));
+    raw = tasks_.back().get();
+    raw->owner_ = this;
+    raw->detached_ = detached;
+  }
+  raw->stack_ = stacks_.Acquire();
+  MakeContext(&raw->ctx_, raw->stack_, stacks_.stack_size(),
+              &Simulation::TaskEntry, raw);
   cores_[core].run_queue.push_back(raw);
   OBS_COUNTER_SAMPLED(obs::Track(obs::kProcCores, core), "runq",
                       cores_[core].run_queue.size());
@@ -158,9 +155,8 @@ void Simulation::NotifyEnqueue(int core) {
   if (cores_[core].running == nullptr) {
     return;  // the core itself will pick the task up
   }
-  if (auto it = core_enqueue_hooks_.find(core);
-      it != core_enqueue_hooks_.end()) {
-    it->second(core);
+  if (const auto& hook = core_enqueue_hooks_[static_cast<size_t>(core)]) {
+    hook(core);
   }
 }
 
@@ -220,8 +216,8 @@ void Simulation::KickCore(int core) {
     if (c.running != nullptr) {
       return;
     }
-    if (auto it = core_poll_hooks_.find(core); it != core_poll_hooks_.end()) {
-      it->second(core);
+    if (const auto& poll = core_poll_hooks_[static_cast<size_t>(core)]) {
+      poll(core);
     }
     if (c.running != nullptr) {
       return;  // poll hook resumed a core-holding task
@@ -232,9 +228,9 @@ void Simulation::KickCore(int core) {
       c.run_queue.pop_front();
       OBS_COUNTER_SAMPLED(obs::Track(obs::kProcCores, core), "runq",
                           c.run_queue.size());
-    } else if (auto it = core_steal_hooks_.find(core);
-               it != core_steal_hooks_.end()) {
-      next = it->second(core);
+    } else if (const auto& steal =
+                   core_steal_hooks_[static_cast<size_t>(core)]) {
+      next = steal(core);
       if (next != nullptr) {
         next->core_ = core;
       }
@@ -318,13 +314,15 @@ void Simulation::HandleDirective(Task* t) {
       }
       t->joiners_.clear();
       t->fn_ = nullptr;  // release any captured workload state
-      RecycleStack(t->stack_);
+      stacks_.Release(t->stack_);
       t->stack_ = nullptr;
       ReleaseContext(&t->ctx_);  // sanitizer fiber bookkeeping, if any
       MarkCoreIdle(core);
       KickCore(t->core_);
       if (t->detached_) {
-        tasks_.erase(t->id_);  // nobody may reference a detached task
+        // Nobody may reference a detached task after it finishes; park the
+        // object for the next spawn instead of freeing it.
+        free_tasks_.push_back(t);
       }
       break;
     }

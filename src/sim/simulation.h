@@ -37,16 +37,17 @@
 #define EASYIO_SIM_SIMULATION_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "src/sim/context.h"
+#include "src/sim/ring_queue.h"
+#include "src/sim/small_fn.h"
+#include "src/sim/stack_allocator.h"
 #include "src/sim/task.h"
 #include "src/sim/time.h"
+#include "src/sim/timer_wheel.h"
 
 namespace easyio::sim {
 
@@ -60,7 +61,12 @@ namespace easyio::sim {
 // media model are built on top of it — and the asynchrony the paper measures
 // (uthreads harvesting DMA wait time, §4.1) appears here as Block()ed tasks
 // yielding their core to the run queue.
-using EventFn = std::function<void()>;
+//
+// EventFn is a SmallFn, not a std::function: move-only, one indirect call to
+// dispatch, and every capture the simulator's own hot paths use ([this],
+// [this, core], [this, t]) stays in the inline buffer. Arbitrary larger
+// captures still work via a heap fallback.
+using EventFn = SmallFn<void()>;
 // Opaque handle for Cancel(): slot index + generation. Never 0, so callers
 // can keep 0 as a "no event pending" sentinel.
 using EventId = uint64_t;
@@ -70,6 +76,12 @@ class Simulation {
   struct Options {
     int num_cores = 1;
     size_t stack_size = 256 * 1024;
+    // Map task stacks with a PROT_NONE guard page below the usable range so
+    // overflows fault instead of corrupting a pooled neighbor.
+    bool stack_guard_pages = false;
+    // Fill stacks with StackAllocator::kPoisonByte on every (re)use.
+    // Defaults on in builds compiled with -DEASYIO_STACK_POISON (Debug).
+    bool poison_stacks = StackAllocator::kPoisonDefault;
   };
 
   explicit Simulation(const Options& options);
@@ -95,7 +107,8 @@ class Simulation {
   // ---- Task management ----
   // Spawns a task on `core`, runnable at the current time. The returned
   // pointer stays valid until the simulation is destroyed (or, for detached
-  // tasks, until the task finishes).
+  // tasks, until the task finishes — the Task object and its stack are then
+  // recycled into the next spawn).
   Task* Spawn(int core, std::function<void()> fn);
   Task* SpawnDetached(int core, std::function<void()> fn);
 
@@ -124,21 +137,23 @@ class Simulation {
 
   // ---- Scheduler-layer hooks (per core, so multiple runtimes can own
   // disjoint core sets, as Caladan does across colocated applications) ----
+  // Hooks live in flat per-core arrays sized at construction: the dispatch
+  // path indexes and tests a SmallFn instead of probing a hash map.
   // The poll hook runs every time a core is about to pick its next task (the
   // uthread runtime polls DMA completion buffers here). The steal hook is
   // consulted when the run queue is empty; it may return a task stolen from
   // another core.
-  void SetPollHook(int core, std::function<void(int)> hook) {
-    core_poll_hooks_[core] = std::move(hook);
+  void SetPollHook(int core, SmallFn<void(int)> hook) {
+    core_poll_hooks_[static_cast<size_t>(core)] = std::move(hook);
   }
-  void SetStealHook(int core, std::function<Task*(int)> hook) {
-    core_steal_hooks_[core] = std::move(hook);
+  void SetStealHook(int core, SmallFn<Task*(int)> hook) {
+    core_steal_hooks_[static_cast<size_t>(core)] = std::move(hook);
   }
 
   // The enqueue hook fires when a task is queued on `core` while the core is
   // already busy — the work-stealing runtime uses it to kick idle siblings.
-  void SetEnqueueHook(int core, std::function<void(int)> hook) {
-    core_enqueue_hooks_[core] = std::move(hook);
+  void SetEnqueueHook(int core, SmallFn<void(int)> hook) {
+    core_enqueue_hooks_[static_cast<size_t>(core)] = std::move(hook);
   }
 
   // Removes and returns the task at the back of `victim`'s run queue (oldest
@@ -160,26 +175,18 @@ class Simulation {
   SimTime core_busy_ns(int core) const;
   uint64_t tasks_spawned() const { return next_task_id_; }
   uint64_t context_switches() const { return context_switches_; }
+  // Distinct stacks ever mapped; spawn churn should hold this steady.
+  size_t stacks_created() const { return stacks_.stacks_created(); }
 
  private:
-  // Events live in a slab of recycled slots: the heap stores only plain
-  // {time, seq, slot, gen} records and the callback sits in the slot, so a
-  // ScheduleAt/fire cycle performs no per-event heap allocation once the
-  // slab and the heap's backing vector have warmed up (std::function's
-  // small-buffer optimization covers the hot capture shapes — two words).
-  // The generation tag makes Cancel() safe against stale ids: a slot is
-  // recycled the moment its event fires or is cancelled, and any other
-  // EventId naming it is detected by a generation mismatch.
-  struct Event {
-    SimTime time;
-    uint64_t seq;  // FIFO tie-break among same-time events
-    uint32_t slot;
-    uint32_t gen;
-    bool operator>(const Event& other) const {
-      return time != other.time ? time > other.time : seq > other.seq;
-    }
-  };
-
+  // Events live in a slab of recycled slots: the timing wheel stores only
+  // plain {time, seq, slot, gen} records and the callback sits in the slot,
+  // so a ScheduleAt/fire cycle performs no per-event heap allocation once
+  // the slab and the wheel's slot vectors have warmed up (SmallFn keeps the
+  // hot capture shapes — two or three words — inline). The generation tag
+  // makes Cancel() safe against stale ids: a slot is recycled the moment its
+  // event fires or is cancelled, and any other EventId naming it is detected
+  // by a generation mismatch.
   struct EventSlot {
     EventFn fn;
     uint32_t gen = 1;
@@ -194,7 +201,7 @@ class Simulation {
   void ReleaseEventSlot(uint32_t slot);
 
   struct Core {
-    std::deque<Task*> run_queue;
+    RingQueue<Task*> run_queue;
     Task* running = nullptr;
     bool kick_pending = false;
     SimTime busy_ns = 0;
@@ -212,8 +219,6 @@ class Simulation {
   void FinishCurrent();            // task side; never returns
   void MarkCoreBusy(Core& core, Task* t);
   void MarkCoreIdle(Core& core);
-  std::byte* AllocStack();
-  void RecycleStack(std::byte* stack);
   Task* CreateTask(int core, std::function<void()> fn, bool detached);
   void SwitchOut(Directive d);     // task side: record directive, swap to host
 
@@ -224,7 +229,7 @@ class Simulation {
   bool stop_requested_ = false;
   bool running_loop_ = false;
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  TimerWheel events_;
   std::vector<EventSlot> event_slots_;
   std::vector<uint32_t> free_event_slots_;
 
@@ -234,13 +239,18 @@ class Simulation {
   Directive directive_ = Directive::kNone;
   uint64_t advance_ns_ = 0;
 
-  size_t stack_size_;
-  std::vector<std::byte*> stack_pool_;
-  std::unordered_map<uint64_t, std::unique_ptr<Task>> tasks_;
+  StackAllocator stacks_;
+  // Task objects are recycled: tasks_ owns every Task ever constructed, and
+  // a detached task that finishes parks its pointer in free_tasks_ for the
+  // next spawn, so detached spawn/exit churn allocates nothing in steady
+  // state. Joinable tasks are never recycled — their pointers stay valid
+  // until the simulation dies, as the Spawn contract promises.
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<Task*> free_tasks_;
 
-  std::unordered_map<int, std::function<void(int)>> core_poll_hooks_;
-  std::unordered_map<int, std::function<Task*(int)>> core_steal_hooks_;
-  std::unordered_map<int, std::function<void(int)>> core_enqueue_hooks_;
+  std::vector<SmallFn<void(int)>> core_poll_hooks_;
+  std::vector<SmallFn<Task*(int)>> core_steal_hooks_;
+  std::vector<SmallFn<void(int)>> core_enqueue_hooks_;
 };
 
 }  // namespace easyio::sim

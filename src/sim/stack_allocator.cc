@@ -1,0 +1,86 @@
+#include "src/sim/stack_allocator.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace easyio::sim {
+
+namespace {
+size_t PageSize() {
+  static const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  return page;
+}
+
+size_t RoundUpToPage(size_t n) {
+  const size_t page = PageSize();
+  return (n + page - 1) & ~(page - 1);
+}
+}  // namespace
+
+StackAllocator::StackAllocator(const Options& options) : options_(options) {
+  if (options_.guard_pages) {
+    options_.stack_size = RoundUpToPage(options_.stack_size);
+  }
+}
+
+StackAllocator::~StackAllocator() {
+  for (std::byte* stack : created_) {
+    if (options_.guard_pages) {
+      munmap(stack - PageSize(), PageSize() + options_.stack_size);
+    } else {
+      delete[] stack;
+    }
+  }
+}
+
+std::byte* StackAllocator::CreateStack() {
+  if (!options_.guard_pages) {
+    return new std::byte[options_.stack_size];
+  }
+  const size_t page = PageSize();
+  void* map = mmap(nullptr, page + options_.stack_size,
+                   PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (map == MAP_FAILED) {
+    std::perror("easyio: mmap task stack");
+    std::abort();
+  }
+  // Stacks grow down: the guard sits below the usable range so an overflow
+  // hits PROT_NONE before it can touch another stack.
+  if (mprotect(map, page, PROT_NONE) != 0) {
+    std::perror("easyio: mprotect stack guard");
+    std::abort();
+  }
+  return static_cast<std::byte*>(map) + page;
+}
+
+std::byte* StackAllocator::Acquire() {
+  std::byte* stack;
+  if (!pool_.empty()) {
+    stack = pool_.back();
+    pool_.pop_back();
+  } else {
+    stack = CreateStack();
+    created_.push_back(stack);
+  }
+  if (options_.poison) {
+    std::memset(stack, static_cast<int>(kPoisonByte), options_.stack_size);
+  }
+  return stack;
+}
+
+void StackAllocator::Release(std::byte* stack) { pool_.push_back(stack); }
+
+bool StackAllocator::FullyPoisoned(const std::byte* stack) const {
+  for (size_t i = 0; i < options_.stack_size; ++i) {
+    if (stack[i] != kPoisonByte) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace easyio::sim
